@@ -1,0 +1,69 @@
+// Reproduces the paper's §IV-B.4 cost claim: "training sizes of 20% to 50%
+// provide appropriate performance, which means that the cost for a classical
+// statistical fault injection campaign could be reduced by 2 up to 5 times"
+// with "<10% accuracy reduction" at the aggressive end. Sweeps the training
+// size, reporting cost reduction, R² and the accuracy loss vs. the 50% point.
+
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "ml/model_zoo.hpp"
+#include "util/table_printer.hpp"
+
+int main() {
+  using namespace ffr;
+  const bench::PaperContext& ctx = bench::paper_context();
+  const auto splits = bench::paper_splits(ctx);
+
+  std::printf("== Cost reduction vs accuracy (k-NN, CV = 10) ==\n");
+  const std::vector<double> fractions{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.7, 0.9};
+  const auto prototype = ml::make_model("knn_paper");
+  const auto curve = ml::learning_curve(*prototype, ctx.features.values, ctx.fdr,
+                                        fractions, splits);
+
+  double r2_at_half = 0.0;
+  for (const auto& point : curve) {
+    if (point.train_fraction == 0.5) r2_at_half = point.test_r2_mean;
+  }
+
+  util::TablePrinter table({"train size", "injections", "cost reduction",
+                            "R2(test)", "R2 loss vs 50%"});
+  linalg::Vector col_frac;
+  linalg::Vector col_cost;
+  linalg::Vector col_r2;
+  for (const auto& point : curve) {
+    const double injections = point.train_fraction *
+                              static_cast<double>(ctx.num_ffs()) *
+                              static_cast<double>(ctx.injections_per_ff);
+    const double reduction = 1.0 / point.train_fraction;
+    const double loss =
+        r2_at_half > 0 ? (r2_at_half - point.test_r2_mean) / r2_at_half : 0.0;
+    table.add_row({util::TablePrinter::format(point.train_fraction * 100, 0) + "%",
+                   util::TablePrinter::format(injections, 0),
+                   util::TablePrinter::format(reduction, 1) + "x",
+                   util::TablePrinter::format(point.test_r2_mean, 3),
+                   util::TablePrinter::format(loss * 100, 1) + "%"});
+    col_frac.push_back(point.train_fraction);
+    col_cost.push_back(reduction);
+    col_r2.push_back(point.test_r2_mean);
+  }
+  table.print();
+
+  // The paper's claim, checked programmatically.
+  double r2_at_fifth = 0.0;
+  for (const auto& point : curve) {
+    if (point.train_fraction == 0.2) r2_at_fifth = point.test_r2_mean;
+  }
+  const double loss_at_5x = (r2_at_half - r2_at_fifth) / r2_at_half;
+  std::printf(
+      "\nclaim check: 2x reduction (50%% train) R2 = %.3f; 5x reduction "
+      "(20%% train) R2 = %.3f -> accuracy loss %.1f%% (paper: < 10%%) %s\n",
+      r2_at_half, r2_at_fifth, loss_at_5x * 100,
+      loss_at_5x < 0.10 ? "[holds]" : "[violated]");
+
+  const auto csv = bench::write_series_csv(
+      ctx, "cost_reduction.csv",
+      {{"train_fraction", col_frac}, {"cost_reduction", col_cost}, {"test_r2", col_r2}});
+  std::printf("series -> %s\n", csv.string().c_str());
+  return 0;
+}

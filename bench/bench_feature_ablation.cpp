@@ -1,0 +1,74 @@
+// Ablation bench (DESIGN.md): value of the three feature groups the paper
+// combines — structural (netlist graph), synthesis attributes, and dynamic
+// signal activity — plus a leave-one-feature-out importance sweep for the
+// best model. Motivates the paper's future-work note on feature value and
+// dimensionality reduction.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "features/feature_set.hpp"
+#include "ml/model_zoo.hpp"
+#include "util/table_printer.hpp"
+
+int main() {
+  using namespace ffr;
+  const bench::PaperContext& ctx = bench::paper_context();
+  const auto splits = bench::paper_splits(ctx);
+  const auto prototype = ml::make_model("knn_paper");
+
+  const auto evaluate_subset = [&](const std::vector<std::size_t>& cols) {
+    const linalg::Matrix x = ctx.features.values.select_cols(cols);
+    return ml::cross_validate(*prototype, x, ctx.fdr, splits, 0.5).mean_test.r2;
+  };
+
+  std::printf("== Feature-group ablation (k-NN, CV = 10, train = 50%%) ==\n");
+  const auto structural = features::structural_feature_indices();
+  const auto synthesis = features::synthesis_feature_indices();
+  const auto dynamic = features::dynamic_feature_indices();
+  auto concat = [](std::vector<std::size_t> a, const std::vector<std::size_t>& b) {
+    a.insert(a.end(), b.begin(), b.end());
+    return a;
+  };
+
+  util::TablePrinter table({"Feature set", "#features", "R2(test)"});
+  const std::pair<const char*, std::vector<std::size_t>> subsets[] = {
+      {"structural only", structural},
+      {"synthesis only", synthesis},
+      {"dynamic only", dynamic},
+      {"structural + synthesis", concat(structural, synthesis)},
+      {"structural + dynamic", concat(structural, dynamic)},
+      {"all (paper)", concat(concat(structural, synthesis), dynamic)},
+  };
+  for (const auto& [label, cols] : subsets) {
+    table.add_row({label, std::to_string(cols.size()),
+                   util::TablePrinter::format(evaluate_subset(cols), 3)});
+  }
+  table.print();
+
+  std::printf("\n== Leave-one-out feature importance (drop in R2 when the "
+              "feature is removed) ==\n");
+  std::vector<std::size_t> all(features::kNumFeatures);
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  const double baseline = evaluate_subset(all);
+  std::printf("baseline (all %zu features): R2 = %.3f\n", all.size(), baseline);
+
+  std::vector<std::pair<double, std::size_t>> importance;
+  for (std::size_t drop = 0; drop < features::kNumFeatures; ++drop) {
+    std::vector<std::size_t> cols;
+    for (std::size_t i = 0; i < features::kNumFeatures; ++i) {
+      if (i != drop) cols.push_back(i);
+    }
+    importance.push_back({baseline - evaluate_subset(cols), drop});
+  }
+  std::sort(importance.rbegin(), importance.rend());
+  util::TablePrinter loo({"Feature", "R2 drop when removed"});
+  for (const auto& [drop, index] : importance) {
+    loo.add_row(
+        {std::string(features::to_string(static_cast<features::Feature>(index))),
+         util::TablePrinter::format(drop, 4)});
+  }
+  loo.print();
+  return 0;
+}

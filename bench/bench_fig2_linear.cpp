@@ -1,0 +1,10 @@
+// Reproduces Fig. 2: regression with the Linear Least Squares model —
+// (a) prediction and per-instance error on the example test fold at
+// training size 50%, (b) the R² learning curve with 10-fold CV.
+
+#include "bench/fig_common.hpp"
+
+int main() {
+  ffr::bench::run_figure("linear", "Linear Least Squares", "2");
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Reproduces Fig. 3: regression with the k-Nearest Neighbors model
+// (k = 3, Manhattan distance, inverse-distance weights) — (a) example test
+// fold at training size 50%, (b) R² learning curve with 10-fold CV.
+
+#include "bench/fig_common.hpp"
+
+int main() {
+  ffr::bench::run_figure("knn_paper", "k-Nearest Neighbors", "3");
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Reproduces Fig. 4: regression with the Support Vector Regressor with RBF
+// kernel (C = 3.5, gamma = 0.055, epsilon = 0.025) — (a) example test fold
+// at training size 50%, (b) R² learning curve with 10-fold CV.
+
+#include "bench/fig_common.hpp"
+
+int main() {
+  ffr::bench::run_figure("svr_paper", "SVR w/ RBF kernel", "4");
+  return 0;
+}

@@ -1,0 +1,155 @@
+// Micro-benchmarks (google-benchmark): throughput of the substrates — packed
+// gate-level simulation, fault-injection batches, feature extraction, and
+// the ML kernels (k-NN predict, SVR fit, linear fit) at workload scale.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "circuits/mac_core.hpp"
+#include "circuits/mac_testbench.hpp"
+#include "fault/campaign.hpp"
+#include "features/extractor.hpp"
+#include "ml/knn.hpp"
+#include "ml/linear.hpp"
+#include "ml/svr.hpp"
+#include "sim/runner.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ffr;
+
+struct MicroContext {
+  circuits::MacCore mac;
+  circuits::MacTestbench bench;
+  sim::GoldenResult golden;
+  linalg::Matrix x;
+  linalg::Vector y;
+};
+
+const MicroContext& micro_context() {
+  static const MicroContext ctx = [] {
+    MicroContext c;
+    circuits::MacConfig mc;
+    mc.tx_depth_log2 = 4;
+    mc.rx_depth_log2 = 4;
+    c.mac = circuits::build_mac_core(mc);
+    circuits::MacTestbenchConfig tbc;
+    tbc.num_frames = 5;
+    c.bench = circuits::build_mac_testbench(c.mac, tbc);
+    c.golden = sim::run_golden(c.mac.netlist, c.bench.tb);
+    // Synthetic regression problem at campaign scale.
+    util::Rng rng(1);
+    const std::size_t n = 500;
+    const std::size_t d = 25;
+    c.x = linalg::Matrix(n, d);
+    c.y.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < d; ++j) c.x(i, j) = rng.normal();
+      c.y[i] = std::tanh(c.x(i, 0)) + 0.2 * c.x(i, 1) * c.x(i, 2);
+    }
+    return c;
+  }();
+  return ctx;
+}
+
+void BM_PackedSimGoldenRun(benchmark::State& state) {
+  const auto& ctx = micro_context();
+  for (auto _ : state) {
+    auto result = sim::run_golden(ctx.mac.netlist, ctx.bench.tb);
+    benchmark::DoNotOptimize(result.frames.size());
+  }
+  const double cells = static_cast<double>(ctx.mac.netlist.num_cells());
+  const double cycles = static_cast<double>(ctx.bench.tb.stimulus.num_cycles());
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      cells * cycles * static_cast<double>(state.iterations())));
+  state.counters["lane_evals/s"] = benchmark::Counter(
+      cells * cycles * 64.0 * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PackedSimGoldenRun)->Unit(benchmark::kMillisecond);
+
+void BM_FaultBatch64Lanes(benchmark::State& state) {
+  const auto& ctx = micro_context();
+  const auto ffs = ctx.mac.netlist.flip_flops();
+  std::vector<sim::InjectionEvent> events;
+  for (std::size_t lane = 0; lane < 64; ++lane) {
+    events.push_back({ffs[lane % ffs.size()],
+                      static_cast<std::uint32_t>(12 + lane),
+                      sim::Lanes{1} << lane});
+  }
+  for (auto _ : state) {
+    auto result = sim::run_testbench(ctx.mac.netlist, ctx.bench.tb, events);
+    benchmark::DoNotOptimize(result.lane_frames[0].size());
+  }
+  state.counters["injections/s"] = benchmark::Counter(
+      64.0 * static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FaultBatch64Lanes)->Unit(benchmark::kMillisecond);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  const auto& ctx = micro_context();
+  for (auto _ : state) {
+    auto fm = features::extract_features(ctx.mac.netlist, ctx.golden.activity);
+    benchmark::DoNotOptimize(fm.num_ffs());
+  }
+  state.counters["ffs/s"] = benchmark::Counter(
+      static_cast<double>(ctx.mac.netlist.num_flip_flops()) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FeatureExtraction)->Unit(benchmark::kMillisecond);
+
+void BM_LinearFit(benchmark::State& state) {
+  const auto& ctx = micro_context();
+  for (auto _ : state) {
+    ml::LinearLeastSquares model;
+    model.fit(ctx.x, ctx.y);
+    benchmark::DoNotOptimize(model.intercept());
+  }
+}
+BENCHMARK(BM_LinearFit)->Unit(benchmark::kMillisecond);
+
+void BM_KnnPredict(benchmark::State& state) {
+  const auto& ctx = micro_context();
+  ml::KnnRegressor model(3, 1.0, ml::KnnWeights::kDistance);
+  model.fit(ctx.x, ctx.y);
+  for (auto _ : state) {
+    auto pred = model.predict(ctx.x);
+    benchmark::DoNotOptimize(pred[0]);
+  }
+  state.counters["queries/s"] = benchmark::Counter(
+      static_cast<double>(ctx.x.rows()) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_KnnPredict)->Unit(benchmark::kMillisecond);
+
+void BM_SvrFit(benchmark::State& state) {
+  const auto& ctx = micro_context();
+  ml::SvrConfig config;
+  config.c = 3.5;
+  config.gamma = 0.055;
+  config.epsilon = 0.025;
+  for (auto _ : state) {
+    ml::SvrRegressor model(config);
+    model.fit(ctx.x, ctx.y);
+    benchmark::DoNotOptimize(model.num_support_vectors());
+  }
+}
+BENCHMARK(BM_SvrFit)->Unit(benchmark::kMillisecond);
+
+void BM_NetlistBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    circuits::MacConfig mc;
+    mc.tx_depth_log2 = 4;
+    mc.rx_depth_log2 = 4;
+    auto mac = circuits::build_mac_core(mc);
+    benchmark::DoNotOptimize(mac.netlist.num_cells());
+  }
+}
+BENCHMARK(BM_NetlistBuild)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

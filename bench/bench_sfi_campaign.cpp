@@ -1,0 +1,92 @@
+// Reproduces §IV-A: the flat statistical fault injection campaign — per-
+// flip-flop FDR from N random-time injections, with the failure-class
+// breakdown, the FDR distribution histogram, per-block FDR summary, and
+// simulation throughput (the cost the ML methodology amortizes).
+
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_common.hpp"
+#include "util/table_printer.hpp"
+
+int main() {
+  using namespace ffr;
+  const bench::PaperContext& ctx = bench::paper_context();
+
+  std::printf("== Flat statistical fault injection campaign (paper SS IV-A) ==\n");
+  std::printf("paper: 1054 FFs x 170 injections = 179,180 simulations\n");
+  const std::size_t passes_per_ff =
+      (ctx.injections_per_ff + sim::kNumLanes - 1) / sim::kNumLanes;
+  std::printf("ours : %zu FFs x %zu injections = %llu simulations "
+              "(%zu packed 64-lane passes)\n\n",
+              ctx.num_ffs(), ctx.injections_per_ff,
+              static_cast<unsigned long long>(ctx.campaign.total_injections),
+              ctx.num_ffs() * passes_per_ff);
+
+  // Failure-class breakdown over all injections.
+  fault::ClassCounts total;
+  for (const auto& ff : ctx.campaign.per_ff) {
+    for (std::size_t c = 0; c < fault::kNumFailureClasses; ++c) {
+      total.counts[c] += ff.classes.counts[c];
+    }
+  }
+  std::printf("failure classification of all %llu injections:\n",
+              static_cast<unsigned long long>(total.total()));
+  util::TablePrinter classes({"Class", "Count", "Share"});
+  for (std::size_t c = 0; c < fault::kNumFailureClasses; ++c) {
+    classes.add_row(
+        {std::string(fault::to_string(static_cast<fault::FailureClass>(c))),
+         std::to_string(total.counts[c]),
+         util::TablePrinter::format(100.0 * static_cast<double>(total.counts[c]) /
+                                        static_cast<double>(total.total()),
+                                    1) +
+             "%"});
+  }
+  classes.print();
+
+  // FDR distribution histogram.
+  std::printf("\nFDR distribution over flip-flops (mean %.3f):\n",
+              ctx.campaign.mean_fdr());
+  int hist[10] = {};
+  for (const double v : ctx.fdr) {
+    int bin = static_cast<int>(v * 10.0);
+    if (bin > 9) bin = 9;
+    ++hist[bin];
+  }
+  int peak = 1;
+  for (const int h : hist) peak = std::max(peak, h);
+  for (int b = 0; b < 10; ++b) {
+    const int bar = 50 * hist[b] / peak;
+    std::printf("[%.1f,%.1f) %4d |%s\n", b / 10.0, (b + 1) / 10.0, hist[b],
+                std::string(static_cast<std::size_t>(bar), '#').c_str());
+  }
+
+  // Per-block summary: group flip-flops by register-bus name prefix.
+  std::printf("\nper-block mean FDR (register-bus groups):\n");
+  std::map<std::string, std::pair<double, int>> blocks;
+  const auto ffs = ctx.mac.netlist.flip_flops();
+  for (std::size_t i = 0; i < ffs.size(); ++i) {
+    std::string name = ctx.mac.netlist.cell(ffs[i]).name;
+    // Strip "[idx]" and trailing digits to get a block label.
+    if (const auto bracket = name.find('['); bracket != std::string::npos) {
+      name.resize(bracket);
+    }
+    while (!name.empty() && std::isdigit(static_cast<unsigned char>(name.back()))) {
+      name.pop_back();
+    }
+    auto& [sum, count] = blocks[name];
+    sum += ctx.fdr[i];
+    ++count;
+  }
+  util::TablePrinter block_table({"Block", "#FFs", "mean FDR"});
+  for (const auto& [name, agg] : blocks) {
+    block_table.add_row({name, std::to_string(agg.second),
+                         util::TablePrinter::format(agg.first / agg.second, 3)});
+  }
+  block_table.print();
+
+  const auto csv = bench::write_series_csv(ctx, "sfi_fdr_per_ff.csv",
+                                           {{"fdr", ctx.fdr}});
+  std::printf("\nper-FF FDR series -> %s\n", csv.string().c_str());
+  return 0;
+}

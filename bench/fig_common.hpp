@@ -1,0 +1,130 @@
+#pragma once
+// Shared driver for Figs. 2/3/4: each figure shows (a) the regression of one
+// example test fold at training size 50% — true vs predicted FDR plus the
+// per-instance prediction error, for both the train and test sides — and
+// (b) the R² learning curve over training sizes with 10-fold CV.
+//
+// Series are written as CSV into the results dir (one file per panel) and a
+// textual digest is printed, since the harness is terminal-based.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_common.hpp"
+#include "ml/model_zoo.hpp"
+#include "util/table_printer.hpp"
+
+namespace ffr::bench {
+
+inline void run_figure(const std::string& zoo_name, const std::string& label,
+                       const std::string& fig_prefix) {
+  const PaperContext& ctx = paper_context();
+  const auto splits = paper_splits(ctx);
+  const auto prototype = ml::make_model(zoo_name);
+
+  // ---- panel (a): example fold, training size 50% ---------------------------
+  std::printf("== Fig. %s(a): %s regression on the example test fold "
+              "(training size = 50%%) ==\n",
+              fig_prefix.c_str(), label.c_str());
+  util::Rng rng(1);
+  std::vector<std::size_t> train_idx = splits[0].train;
+  rng.shuffle(train_idx);
+  train_idx.resize(ctx.num_ffs() / 2);
+  const auto& test_idx = splits[0].test;
+
+  auto model = prototype->clone();
+  const linalg::Matrix x_train = ml::take_rows(ctx.features.values, train_idx);
+  const linalg::Vector y_train = ml::take(ctx.fdr, train_idx);
+  model->fit(x_train, y_train);
+
+  const linalg::Vector pred_train = model->predict(x_train);
+  const linalg::Vector pred_test =
+      model->predict(ml::take_rows(ctx.features.values, test_idx));
+  const linalg::Vector y_test = ml::take(ctx.fdr, test_idx);
+
+  auto errors = [](const linalg::Vector& truth, const linalg::Vector& pred) {
+    linalg::Vector err(truth.size());
+    for (std::size_t i = 0; i < truth.size(); ++i) err[i] = pred[i] - truth[i];
+    return err;
+  };
+  const linalg::Vector err_train = errors(y_train, pred_train);
+  const linalg::Vector err_test = errors(y_test, pred_test);
+
+  const auto train_csv = write_series_csv(
+      ctx, "fig" + fig_prefix + "a_train.csv",
+      {{"ff", [&] {
+          linalg::Vector idx;
+          for (const auto i : train_idx) idx.push_back(static_cast<double>(i));
+          return idx;
+        }()},
+       {"fdr_true", y_train},
+       {"fdr_pred", pred_train},
+       {"error", err_train}});
+  const auto test_csv = write_series_csv(
+      ctx, "fig" + fig_prefix + "a_test.csv",
+      {{"ff", [&] {
+          linalg::Vector idx;
+          for (const auto i : test_idx) idx.push_back(static_cast<double>(i));
+          return idx;
+        }()},
+       {"fdr_true", y_test},
+       {"fdr_pred", pred_test},
+       {"error", err_test}});
+
+  const ml::RegressionMetrics train_m = ml::compute_metrics(y_train, pred_train);
+  const ml::RegressionMetrics test_m = ml::compute_metrics(y_test, pred_test);
+  std::printf("train (%4zu FFs): %s\n", y_train.size(),
+              train_m.to_string().c_str());
+  std::printf("test  (%4zu FFs): %s\n", y_test.size(), test_m.to_string().c_str());
+  std::printf("series -> %s, %s\n", train_csv.string().c_str(),
+              test_csv.string().c_str());
+
+  // Compact error profile of the test fold (the paper plots it per FF).
+  std::printf("test error quantiles: ");
+  linalg::Vector sorted_err = err_test;
+  std::sort(sorted_err.begin(), sorted_err.end());
+  for (const double q : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    const auto at = static_cast<std::size_t>(q * (sorted_err.size() - 1));
+    std::printf("p%02.0f=%+.3f  ", q * 100, sorted_err[at]);
+  }
+  std::printf("\n\n");
+
+  // ---- panel (b): learning curve ---------------------------------------------
+  std::printf("== Fig. %s(b): %s learning curve (cross validation fold = 10) ==\n",
+              fig_prefix.c_str(), label.c_str());
+  const std::vector<double> fractions{0.05, 0.1, 0.2, 0.3, 0.4,
+                                      0.5,  0.6, 0.7, 0.8, 0.9};
+  const auto curve =
+      ml::learning_curve(*prototype, ctx.features.values, ctx.fdr, fractions, splits);
+  util::TablePrinter table({"train%", "#train", "R2(train)", "+/-", "R2(test)",
+                            "+/-"});
+  linalg::Vector col_frac;
+  linalg::Vector col_train;
+  linalg::Vector col_test;
+  linalg::Vector col_train_sd;
+  linalg::Vector col_test_sd;
+  for (const auto& point : curve) {
+    table.add_row({util::TablePrinter::format(point.train_fraction * 100, 0),
+                   std::to_string(point.train_samples),
+                   util::TablePrinter::format(point.train_r2_mean, 3),
+                   util::TablePrinter::format(point.train_r2_stddev, 3),
+                   util::TablePrinter::format(point.test_r2_mean, 3),
+                   util::TablePrinter::format(point.test_r2_stddev, 3)});
+    col_frac.push_back(point.train_fraction);
+    col_train.push_back(point.train_r2_mean);
+    col_train_sd.push_back(point.train_r2_stddev);
+    col_test.push_back(point.test_r2_mean);
+    col_test_sd.push_back(point.test_r2_stddev);
+  }
+  table.print();
+  const auto curve_csv = write_series_csv(ctx, "fig" + fig_prefix + "b_curve.csv",
+                                          {{"train_fraction", col_frac},
+                                           {"train_r2", col_train},
+                                           {"train_r2_sd", col_train_sd},
+                                           {"test_r2", col_test},
+                                           {"test_r2_sd", col_test_sd}});
+  std::printf("series -> %s\n", curve_csv.string().c_str());
+}
+
+}  // namespace ffr::bench

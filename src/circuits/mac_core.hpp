@@ -1,0 +1,73 @@
+#pragma once
+// A 10GE-MAC-like gate-level design standing in for the OpenCores Ethernet
+// 10GE MAC used in the paper (see DESIGN.md for the substitution argument).
+//
+// The core implements: a user TX packet interface feeding a transmit FIFO,
+// a transmit engine (preamble/SFD framing, CRC-32 FCS generation, XGMII-style
+// start/terminate control characters, inter-packet gap), a receive engine
+// (start detection, SFD hunt, CRC residue check, FCS stripping via a 4-byte
+// delay line), a receive FIFO with an end-marker convention, statistics
+// counters, a config register and a decorative BIST block. All lowered to
+// NanGate45-style gates via src/rtl.
+
+#include <cstdint>
+
+#include "netlist/netlist.hpp"
+#include "sim/testbench.hpp"
+
+namespace ffr::circuits {
+
+struct MacConfig {
+  std::size_t tx_depth_log2 = 5;  // 32-entry TX FIFO
+  std::size_t rx_depth_log2 = 5;  // 32-entry RX FIFO
+  bool include_stats = true;      // frame/octet/error counters + status port
+  bool include_bist = true;       // free-running LFSR + signature register
+};
+
+/// XGMII-ish control characters (one byte lane).
+inline constexpr std::uint8_t kXgmiiIdle = 0x07;
+inline constexpr std::uint8_t kXgmiiStart = 0xFB;
+inline constexpr std::uint8_t kXgmiiTerminate = 0xFD;
+inline constexpr std::uint8_t kPreambleByte = 0x55;
+inline constexpr std::uint8_t kSfdByte = 0xD5;
+
+/// Primary-input net ids of every port (data buses LSB-first).
+struct MacInputPorts {
+  netlist::NetId tx_wr, tx_sop, tx_eop;
+  std::vector<netlist::NetId> tx_data;  // 8
+  netlist::NetId rx_rd;
+  netlist::NetId xg_rx_ctrl;
+  std::vector<netlist::NetId> xg_rx_data;  // 8
+  netlist::NetId cfg_load;
+  std::vector<netlist::NetId> cfg_data;  // 8
+};
+
+/// Output net ids (the nets marked as primary outputs).
+struct MacOutputPorts {
+  netlist::NetId tx_full;
+  netlist::NetId xg_tx_ctrl;
+  std::vector<netlist::NetId> xg_tx_data;  // 8
+  netlist::NetId rx_valid, rx_sop, rx_eop, rx_err;
+  std::vector<netlist::NetId> rx_data;  // 8
+  std::vector<netlist::NetId> status;   // 8 (empty if !include_stats)
+};
+
+struct MacCore {
+  netlist::Netlist netlist{"mac_core"};
+  MacInputPorts in;
+  MacOutputPorts out;
+
+  /// Monitor spec over the RX packet interface, ready for sim::Testbench.
+  [[nodiscard]] sim::PacketMonitorSpec packet_monitor() const;
+
+  /// XGMII TX -> RX registered loopback connections (testbench wiring).
+  [[nodiscard]] std::vector<sim::Loopback> xgmii_loopback() const;
+};
+
+/// The CRC register value left after processing a message followed by its
+/// own little-endian FCS (used by the receive engine's check).
+[[nodiscard]] std::uint32_t crc32_residue();
+
+[[nodiscard]] MacCore build_mac_core(const MacConfig& config = {});
+
+}  // namespace ffr::circuits

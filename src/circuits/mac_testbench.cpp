@@ -1,0 +1,77 @@
+#include "circuits/mac_testbench.hpp"
+
+#include <stdexcept>
+
+namespace ffr::circuits {
+
+MacTestbench build_mac_testbench(const MacCore& mac,
+                                 const MacTestbenchConfig& config) {
+  if (config.min_payload < 5 || config.max_payload < config.min_payload) {
+    throw std::invalid_argument(
+        "build_mac_testbench: payload must be >= 5 bytes (FCS delay line)");
+  }
+  util::Rng rng(config.seed);
+
+  // Frame schedule: payloads and write start cycles.
+  MacTestbench result;
+  std::vector<std::size_t> starts;
+  std::size_t cycle = 8;  // settle time after reset
+  for (std::size_t f = 0; f < config.num_frames; ++f) {
+    const std::size_t len = static_cast<std::size_t>(
+        rng.range(static_cast<std::int64_t>(config.min_payload),
+                  static_cast<std::int64_t>(config.max_payload)));
+    std::vector<std::uint8_t> payload(len);
+    for (auto& byte : payload) byte = static_cast<std::uint8_t>(rng.below(256));
+    starts.push_back(cycle);
+    cycle += len + config.inter_frame_gap;
+    result.sent_payloads.push_back(std::move(payload));
+  }
+  const std::size_t num_cycles = cycle + config.tail_cycles;
+
+  const netlist::Netlist& nl = mac.netlist;
+  sim::Stimulus stim(nl.primary_inputs().size(), num_cycles);
+  const auto pi_index = [&](netlist::NetId net) {
+    return static_cast<std::size_t>(nl.net(net).pi_index);
+  };
+
+  // Configuration load on cycle 1 (status select = 2: rx frame count).
+  stim.set(pi_index(mac.in.cfg_load), 1, true);
+  const std::uint8_t cfg_value = 0x02;
+  for (std::size_t b = 0; b < 8; ++b) {
+    stim.set(pi_index(mac.in.cfg_data[b]), 1, ((cfg_value >> b) & 1u) != 0);
+  }
+
+  // TX writes: one byte per cycle per frame.
+  for (std::size_t f = 0; f < result.sent_payloads.size(); ++f) {
+    const auto& payload = result.sent_payloads[f];
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+      const std::size_t c = starts[f] + i;
+      stim.set(pi_index(mac.in.tx_wr), c, true);
+      stim.set(pi_index(mac.in.tx_sop), c, i == 0);
+      stim.set(pi_index(mac.in.tx_eop), c, i + 1 == payload.size());
+      for (std::size_t b = 0; b < 8; ++b) {
+        stim.set(pi_index(mac.in.tx_data[b]), c, ((payload[i] >> b) & 1u) != 0);
+      }
+    }
+  }
+
+  // RX reads: continuous or bursty duty cycle.
+  for (std::size_t c = 0; c < num_cycles; ++c) {
+    const bool read =
+        config.rx_read_burst == 0 || ((c / config.rx_read_burst) % 2 == 0);
+    stim.set(pi_index(mac.in.rx_rd), c, read);
+  }
+  // Always drain during the tail so no frame is stuck in the RX FIFO.
+  for (std::size_t c = num_cycles - config.tail_cycles; c < num_cycles; ++c) {
+    stim.set(pi_index(mac.in.rx_rd), c, true);
+  }
+
+  result.tb.stimulus = std::move(stim);
+  result.tb.loopbacks = mac.xgmii_loopback();
+  result.tb.monitor = mac.packet_monitor();
+  result.tb.inject_begin = 10;
+  result.tb.inject_end = num_cycles - config.tail_cycles / 2;
+  return result;
+}
+
+}  // namespace ffr::circuits

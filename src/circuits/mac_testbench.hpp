@@ -1,0 +1,41 @@
+#pragma once
+// Workload generator for the MAC core, mirroring the paper's testbench:
+// "writes several packets to the transmit packet interface … XGMII TX is
+// looped back to XGMII RX … the testbench reads frames from the packet
+// receive interface". Frames have random lengths/payloads from a seeded RNG;
+// the XGMII loopback is part of the returned sim::Testbench.
+
+#include <cstdint>
+#include <vector>
+
+#include "circuits/mac_core.hpp"
+#include "sim/testbench.hpp"
+#include "util/rng.hpp"
+
+namespace ffr::circuits {
+
+struct MacTestbenchConfig {
+  std::size_t num_frames = 10;
+  std::size_t min_payload = 16;   // bytes
+  std::size_t max_payload = 40;   // bytes
+  /// Idle cycles between user writes. Must exceed the TX engine's per-frame
+  /// overhead (start + preamble + FCS + terminate + IPG ~ 23 cycles) or the
+  /// transmit FIFO accumulates backlog and eventually overflows.
+  std::size_t inter_frame_gap = 32;
+  std::size_t tail_cycles = 120;  // drain time after the last write
+  /// RX user reads in on/off bursts of this length (0 = read every cycle);
+  /// bursty reading keeps the receive FIFO partially occupied so its storage
+  /// cells carry live data for realistic fault exposure.
+  std::size_t rx_read_burst = 16;
+  std::uint64_t seed = 0xB0B0;
+};
+
+struct MacTestbench {
+  sim::Testbench tb;
+  std::vector<std::vector<std::uint8_t>> sent_payloads;
+};
+
+[[nodiscard]] MacTestbench build_mac_testbench(const MacCore& mac,
+                                               const MacTestbenchConfig& config = {});
+
+}  // namespace ffr::circuits

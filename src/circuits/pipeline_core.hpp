@@ -1,0 +1,53 @@
+#pragma once
+// A second evaluation circuit: a 4-stage pipelined checksum/transform
+// datapath ("pipeline_core"). Structurally different from the MAC — no
+// FIFOs, deeper combinational stages, an accumulator loop — which makes it
+// useful for cross-circuit generalization experiments (train the model on
+// one design, predict another) and as an extra example scenario.
+//
+// Datapath: in each cycle, when `in_valid` is high, the core takes a byte,
+// (S1) registers it, (S2) xors it with a rotating key and adds a round
+// constant, (S3) accumulates it into a 16-bit running sum with
+// rotate-by-bus-position, (S4) emits the transformed byte plus a final
+// parity tag. A 16-bit accumulator with feedback gives long error retention.
+
+#include "netlist/netlist.hpp"
+#include "sim/testbench.hpp"
+
+namespace ffr::circuits {
+
+struct PipelineConfig {
+  std::size_t stages = 4;      // >= 2 (first and last are fixed roles)
+  std::size_t key_bits = 16;   // rotating key register width
+};
+
+struct PipelineCore {
+  netlist::Netlist netlist{"pipeline_core"};
+  // Inputs.
+  netlist::NetId in_valid{};
+  std::vector<netlist::NetId> in_data;  // 8
+  netlist::NetId key_load{};
+  std::vector<netlist::NetId> key_data;  // 8 (loaded twice for 16-bit key)
+  // Outputs.
+  netlist::NetId out_valid{};
+  std::vector<netlist::NetId> out_data;  // 8
+  netlist::NetId out_parity{};
+  std::vector<netlist::NetId> out_sum;  // 16 accumulator taps
+
+  [[nodiscard]] sim::PacketMonitorSpec byte_monitor() const;
+};
+
+[[nodiscard]] PipelineCore build_pipeline_core(const PipelineConfig& config = {});
+
+/// Open-loop workload: `num_bytes` random bytes with gaps; monitor treats
+/// every valid output byte as a 1-byte frame.
+struct PipelineTestbench {
+  sim::Testbench tb;
+  std::vector<std::uint8_t> sent_bytes;
+};
+
+[[nodiscard]] PipelineTestbench build_pipeline_testbench(
+    const PipelineCore& core, std::size_t num_bytes = 96, double duty_cycle = 0.7,
+    std::uint64_t seed = 0x9E37);
+
+}  // namespace ffr::circuits

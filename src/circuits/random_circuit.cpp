@@ -1,0 +1,87 @@
+#include "circuits/random_circuit.hpp"
+
+#include "netlist/builder.hpp"
+#include "util/rng.hpp"
+
+namespace ffr::circuits {
+
+using netlist::CellFunc;
+using netlist::NetId;
+
+netlist::Netlist build_random_circuit(const RandomCircuitConfig& config) {
+  if (config.num_inputs == 0 || config.num_outputs == 0) {
+    throw std::invalid_argument("random circuit: need inputs and outputs");
+  }
+  util::Rng rng(config.seed);
+  netlist::NetlistBuilder bld("random_" + std::to_string(config.seed));
+
+  // Sources: primary inputs + flip-flop outputs (created up front on
+  // forward wires so gates can read register state).
+  std::vector<NetId> sources;
+  for (std::size_t i = 0; i < config.num_inputs; ++i) {
+    sources.push_back(bld.input("in" + std::to_string(i)));
+  }
+  std::vector<NetId> ff_d_wires =
+      bld.forward_wires("ffd", config.num_flip_flops);
+  std::vector<netlist::FlipFlop> ffs;
+  std::size_t next_bus = 0;
+  std::size_t ff_index = 0;
+  while (ff_index < config.num_flip_flops) {
+    if (rng.bernoulli(config.bus_probability) &&
+        ff_index + 2 <= config.num_flip_flops) {
+      // Group 2-4 flip-flops into a bus.
+      const std::size_t width = std::min<std::size_t>(
+          config.num_flip_flops - ff_index, 2 + rng.below(3));
+      netlist::RegisterBus bus;
+      bus.name = "bus" + std::to_string(next_bus++);
+      for (std::size_t b = 0; b < width; ++b) {
+        netlist::FlipFlop ff =
+            bld.dff(ff_d_wires[ff_index], rng.bernoulli(0.5),
+                    bus.name + "[" + std::to_string(b) + "]");
+        bus.flip_flops.push_back(ff.cell);
+        ffs.push_back(ff);
+        sources.push_back(ff.q);
+        ++ff_index;
+      }
+      bld.add_register_bus(std::move(bus));
+    } else {
+      netlist::FlipFlop ff = bld.dff(ff_d_wires[ff_index], rng.bernoulli(0.5),
+                                     "ff" + std::to_string(ff_index));
+      ffs.push_back(ff);
+      sources.push_back(ff.q);
+      ++ff_index;
+    }
+  }
+
+  // Random combinational DAG: each gate reads from already-created nets.
+  constexpr CellFunc kGatePool[] = {
+      CellFunc::kBuf,  CellFunc::kInv,   CellFunc::kAnd2, CellFunc::kNand2,
+      CellFunc::kOr2,  CellFunc::kNor2,  CellFunc::kXor2, CellFunc::kXnor2,
+      CellFunc::kAnd3, CellFunc::kOr3,   CellFunc::kMux2, CellFunc::kAoi21,
+      CellFunc::kOai21, CellFunc::kAnd4, CellFunc::kNor4,
+  };
+  std::vector<NetId> pool = sources;
+  // Sprinkle constants occasionally so const-driver features get exercised.
+  if (rng.bernoulli(0.5)) pool.push_back(bld.constant(false));
+  if (rng.bernoulli(0.5)) pool.push_back(bld.constant(true));
+  for (std::size_t g = 0; g < config.num_gates; ++g) {
+    const CellFunc func = kGatePool[rng.below(std::size(kGatePool))];
+    std::vector<NetId> inputs;
+    for (std::size_t i = 0; i < netlist::num_inputs(func); ++i) {
+      inputs.push_back(pool[rng.below(pool.size())]);
+    }
+    pool.push_back(bld.gate(func, std::move(inputs)));
+  }
+
+  // Close the registers: each D comes from a random pool net.
+  for (std::size_t i = 0; i < config.num_flip_flops; ++i) {
+    bld.bind_forward_wire(ff_d_wires[i], pool[rng.below(pool.size())]);
+  }
+  // Outputs from random pool nets.
+  for (std::size_t o = 0; o < config.num_outputs; ++o) {
+    bld.output(pool[rng.below(pool.size())], "out" + std::to_string(o));
+  }
+  return bld.build();
+}
+
+}  // namespace ffr::circuits

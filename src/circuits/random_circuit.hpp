@@ -1,0 +1,26 @@
+#pragma once
+// Seeded random netlist generator for property-based testing: random DAGs of
+// combinational gates between random register stages. Every generated
+// netlist passes Netlist::finalize() (single driver, acyclic combinational
+// logic) by construction, so the simulators, graph analyses and exporters
+// can be fuzzed against thousands of distinct shapes.
+
+#include <cstdint>
+
+#include "netlist/netlist.hpp"
+
+namespace ffr::circuits {
+
+struct RandomCircuitConfig {
+  std::size_t num_inputs = 4;
+  std::size_t num_outputs = 3;
+  std::size_t num_gates = 40;
+  std::size_t num_flip_flops = 10;
+  double bus_probability = 0.5;  // chance FFs are grouped into buses
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] netlist::Netlist build_random_circuit(
+    const RandomCircuitConfig& config = {});
+
+}  // namespace ffr::circuits

@@ -1,0 +1,75 @@
+#pragma once
+// The paper's methodology end-to-end (Fig. 1): from a gate-level netlist and
+// its workload testbench, (1) run the golden simulation and extract per-
+// flip-flop features, (2) fault-inject only a *training fraction* of the
+// flip-flops to measure their Functional De-Rating, (3) train a regression
+// model on (features -> FDR), (4) predict the FDR of every remaining
+// flip-flop. The expensive flat campaign over all flip-flops is what the
+// flow avoids; `cost_reduction()` quantifies the saving.
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "fault/campaign.hpp"
+#include "features/extractor.hpp"
+#include "ml/metrics.hpp"
+#include "ml/model.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/runner.hpp"
+
+namespace ffr::core {
+
+struct FlowConfig {
+  /// Fraction of flip-flops that receive fault injection (paper: 0.2-0.5).
+  double training_size = 0.5;
+  std::size_t injections_per_ff = 170;
+  /// Zoo name of the regression model (see ml::make_model).
+  std::string model = "knn_paper";
+  std::uint64_t seed = 0xF10F;
+  std::size_t num_threads = 0;
+};
+
+struct FlowResult {
+  features::FeatureMatrix features;
+  /// Flip-flop indices (into Netlist::flip_flops()) that were fault-injected.
+  std::vector<std::size_t> train_indices;
+  std::vector<bool> is_train;  // per flip-flop
+  /// Measured FDR for the training subset (aligned with train_indices).
+  linalg::Vector train_fdr;
+  /// Final per-flip-flop FDR: measured where injected, predicted elsewhere.
+  linalg::Vector fdr;
+  /// Raw model predictions for all flip-flops (diagnostics).
+  linalg::Vector predicted_fdr;
+
+  std::uint64_t injections_spent = 0;
+  double golden_seconds = 0.0;
+  double campaign_seconds = 0.0;
+  double training_seconds = 0.0;
+
+  /// Injections a full flat campaign would have needed / injections spent.
+  [[nodiscard]] double cost_reduction() const noexcept {
+    return injections_spent == 0
+               ? 0.0
+               : static_cast<double>(injections_full) /
+                     static_cast<double>(injections_spent);
+  }
+  std::uint64_t injections_full = 0;
+
+  /// Circuit-level mean FDR estimate.
+  [[nodiscard]] double mean_fdr() const;
+};
+
+/// Runs the flow. Deterministic for a given config.
+[[nodiscard]] FlowResult run_estimation_flow(const netlist::Netlist& nl,
+                                             const sim::Testbench& tb,
+                                             const FlowConfig& config = {});
+
+/// Scores a flow result against a reference full campaign: metrics are
+/// computed on the flip-flops the flow did NOT inject (its actual
+/// predictions). `reference` must be a full-circuit campaign in
+/// Netlist::flip_flops() order.
+[[nodiscard]] ml::RegressionMetrics score_against_campaign(
+    const FlowResult& flow, const fault::CampaignResult& reference);
+
+}  // namespace ffr::core

@@ -1,0 +1,96 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <numeric>
+#include <sstream>
+
+namespace ffr::core {
+
+namespace {
+
+std::string block_of(std::string name) {
+  if (const auto bracket = name.find('['); bracket != std::string::npos) {
+    name.resize(bracket);
+  }
+  while (!name.empty() && std::isdigit(static_cast<unsigned char>(name.back()))) {
+    name.pop_back();
+  }
+  return name;
+}
+
+}  // namespace
+
+std::string render_report(const netlist::Netlist& nl, const FlowResult& flow,
+                          const ReportOptions& options) {
+  std::ostringstream out;
+  out.precision(3);
+  out << std::fixed;
+  const std::size_t n = flow.fdr.size();
+
+  out << "# Functional De-Rating report: " << nl.name() << "\n\n";
+  out << "- circuit: " << nl.summary() << "\n";
+  out << "- flip-flops measured by fault injection: " << flow.train_indices.size()
+      << " / " << n << "\n";
+  out << "- injections spent: " << flow.injections_spent << " (flat campaign: "
+      << flow.injections_full << ", saving " << flow.cost_reduction() << "x)\n";
+  out << "- estimated circuit mean FDR: " << flow.mean_fdr() << "\n\n";
+
+  // FDR histogram.
+  out << "## FDR distribution\n\n";
+  std::vector<std::size_t> hist(options.histogram_bins, 0);
+  for (const double v : flow.fdr) {
+    auto bin = static_cast<std::size_t>(v * static_cast<double>(hist.size()));
+    if (bin >= hist.size()) bin = hist.size() - 1;
+    ++hist[bin];
+  }
+  const std::size_t peak = std::max<std::size_t>(
+      1, *std::max_element(hist.begin(), hist.end()));
+  for (std::size_t b = 0; b < hist.size(); ++b) {
+    const double lo = static_cast<double>(b) / static_cast<double>(hist.size());
+    const double hi = static_cast<double>(b + 1) / static_cast<double>(hist.size());
+    out << "    [" << lo << ", " << hi << ")  " << hist[b] << "  "
+        << std::string(40 * hist[b] / peak, '#') << "\n";
+  }
+
+  // Top-k vulnerable instances.
+  out << "\n## Most vulnerable instances\n\n";
+  out << "| rank | instance | FDR | source |\n|---|---|---|---|\n";
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return flow.fdr[a] > flow.fdr[b]; });
+  const auto ffs = nl.flip_flops();
+  for (std::size_t rank = 0; rank < std::min(options.top_k, n); ++rank) {
+    const std::size_t i = order[rank];
+    out << "| " << rank + 1 << " | `" << nl.cell(ffs[i]).name << "` | "
+        << flow.fdr[i] << " | " << (flow.is_train[i] ? "measured" : "predicted")
+        << " |\n";
+  }
+
+  // Per-block rollup.
+  out << "\n## Per-block mean FDR\n\n";
+  out << "| block | #FFs | mean FDR |\n|---|---|---|\n";
+  std::map<std::string, std::pair<double, std::size_t>> blocks;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& [sum, count] = blocks[block_of(nl.cell(ffs[i]).name)];
+    sum += flow.fdr[i];
+    ++count;
+  }
+  for (const auto& [name, agg] : blocks) {
+    out << "| `" << name << "` | " << agg.second << " | "
+        << agg.first / static_cast<double>(agg.second) << " |\n";
+  }
+  return out.str();
+}
+
+void write_report(const std::filesystem::path& path, const netlist::Netlist& nl,
+                  const FlowResult& flow, const ReportOptions& options) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("write_report: cannot open " + path.string());
+  file << render_report(nl, flow, options);
+  if (!file) throw std::runtime_error("write_report: write failed");
+}
+
+}  // namespace ffr::core

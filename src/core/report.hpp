@@ -1,0 +1,28 @@
+#pragma once
+// Markdown report generation for estimation-flow results: the artefact a
+// safety engineer files after running the analysis — circuit census, cost
+// accounting, FDR distribution, most-vulnerable instances and per-block
+// rollups.
+
+#include <filesystem>
+#include <string>
+
+#include "core/estimation_flow.hpp"
+
+namespace ffr::core {
+
+struct ReportOptions {
+  std::size_t top_k = 15;          // most vulnerable instances to list
+  std::size_t histogram_bins = 10;
+};
+
+/// Renders a markdown report for a completed flow on its netlist.
+[[nodiscard]] std::string render_report(const netlist::Netlist& nl,
+                                        const FlowResult& flow,
+                                        const ReportOptions& options = {});
+
+/// Renders and writes to a file; throws std::runtime_error on I/O failure.
+void write_report(const std::filesystem::path& path, const netlist::Netlist& nl,
+                  const FlowResult& flow, const ReportOptions& options = {});
+
+}  // namespace ffr::core

@@ -1,0 +1,176 @@
+#include "fault/campaign.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ffr::fault {
+
+std::vector<double> CampaignResult::fdr_vector() const {
+  std::vector<double> fdr;
+  fdr.reserve(per_ff.size());
+  for (const FfResult& ff : per_ff) fdr.push_back(ff.fdr());
+  return fdr;
+}
+
+double CampaignResult::mean_fdr() const {
+  if (per_ff.empty()) return 0.0;
+  double sum = 0.0;
+  for (const FfResult& ff : per_ff) sum += ff.fdr();
+  return sum / static_cast<double>(per_ff.size());
+}
+
+void CampaignResult::save_csv(const std::filesystem::path& path) const {
+  util::CsvTable table;
+  table.header = {"ff_index", "name", "injections", "fdr"};
+  for (std::size_t c = 0; c < kNumFailureClasses; ++c) {
+    table.header.push_back(std::string(to_string(static_cast<FailureClass>(c))));
+  }
+  for (const FfResult& ff : per_ff) {
+    std::vector<std::string> row = {
+        std::to_string(ff.ff_index), ff.name, std::to_string(ff.injections),
+        util::CsvWriter::format_double(ff.fdr())};
+    for (const auto count : ff.classes.counts) row.push_back(std::to_string(count));
+    table.rows.push_back(std::move(row));
+  }
+  util::write_csv_file(path, table);
+}
+
+CampaignResult CampaignResult::load_csv(const std::filesystem::path& path) {
+  const util::CsvTable table = util::read_csv_file(path);
+  CampaignResult result;
+  const std::size_t idx_col = table.column_index("ff_index");
+  const std::size_t name_col = table.column_index("name");
+  const std::size_t inj_col = table.column_index("injections");
+  std::array<std::size_t, kNumFailureClasses> class_cols{};
+  for (std::size_t c = 0; c < kNumFailureClasses; ++c) {
+    class_cols[c] =
+        table.column_index(to_string(static_cast<FailureClass>(c)));
+  }
+  for (const auto& row : table.rows) {
+    FfResult ff;
+    ff.ff_index = std::stoull(row.at(idx_col));
+    ff.name = row.at(name_col);
+    ff.injections = std::stoull(row.at(inj_col));
+    for (std::size_t c = 0; c < kNumFailureClasses; ++c) {
+      ff.classes.counts[c] = std::stoull(row.at(class_cols[c]));
+    }
+    result.total_injections += ff.injections;
+    result.per_ff.push_back(std::move(ff));
+  }
+  return result;
+}
+
+CampaignResult run_campaign(const netlist::Netlist& nl, const sim::Testbench& tb,
+                            const sim::GoldenResult& golden,
+                            const CampaignConfig& config) {
+  if (tb.inject_end <= tb.inject_begin) {
+    throw std::invalid_argument("run_campaign: empty injection window");
+  }
+  const std::size_t window = tb.inject_end - tb.inject_begin;
+  const auto ffs = nl.flip_flops();
+
+  std::vector<std::size_t> subset = config.ff_subset;
+  if (subset.empty()) {
+    subset.resize(ffs.size());
+    for (std::size_t i = 0; i < ffs.size(); ++i) subset[i] = i;
+  }
+  for (const std::size_t i : subset) {
+    if (i >= ffs.size()) throw std::out_of_range("run_campaign: ff index");
+  }
+
+  util::Stopwatch stopwatch;
+  CampaignResult result;
+  result.per_ff.resize(subset.size());
+  std::vector<std::uint64_t> passes(subset.size(), 0);
+
+  util::ThreadPool pool(config.num_threads);
+  pool.parallel_for(subset.size(), [&](std::size_t task) {
+    const std::size_t ff_index = subset[task];
+    const netlist::CellId cell = ffs[ff_index];
+
+    // Per-FF deterministic stream: independent of the subset ordering and of
+    // how tasks are scheduled across threads.
+    util::Rng rng(config.seed ^ (0x9e3779b97f4a7c15ULL * (ff_index + 1)));
+
+    // Injection cycles: distinct when the window allows, as in a statistical
+    // campaign sampling "different times during the active phase".
+    std::vector<std::size_t> cycles;
+    if (config.injections_per_ff <= window) {
+      cycles = rng.sample_without_replacement(window, config.injections_per_ff);
+    } else {
+      cycles.resize(config.injections_per_ff);
+      for (auto& c : cycles) c = static_cast<std::size_t>(rng.below(window));
+    }
+    for (auto& c : cycles) c += tb.inject_begin;
+
+    FfResult ff_result;
+    ff_result.ff_index = ff_index;
+    ff_result.name = nl.cell(cell).name;
+    ff_result.injections = config.injections_per_ff;
+
+    for (std::size_t batch_start = 0; batch_start < cycles.size();
+         batch_start += sim::kNumLanes) {
+      const std::size_t lanes =
+          std::min(sim::kNumLanes, cycles.size() - batch_start);
+      std::vector<sim::InjectionEvent> events;
+      events.reserve(lanes);
+      for (std::size_t lane = 0; lane < lanes; ++lane) {
+        sim::InjectionEvent ev;
+        ev.ff_cell = cell;
+        ev.cycle = static_cast<std::uint32_t>(cycles[batch_start + lane]);
+        ev.lane_mask = sim::Lanes{1} << lane;
+        events.push_back(ev);
+      }
+      const sim::RunResult run = sim::run_testbench(nl, tb, events);
+      for (std::size_t lane = 0; lane < lanes; ++lane) {
+        ff_result.classes.add(classify(golden.frames, run.lane_frames[lane]));
+      }
+      ++passes[task];
+    }
+    result.per_ff[task] = std::move(ff_result);
+  });
+
+  for (const auto p : passes) result.total_sim_passes += p;
+  for (const FfResult& ff : result.per_ff) result.total_injections += ff.injections;
+  result.wall_seconds = stopwatch.elapsed_seconds();
+  return result;
+}
+
+CampaignResult run_campaign_cached(const netlist::Netlist& nl,
+                                   const sim::Testbench& tb,
+                                   const sim::GoldenResult& golden,
+                                   const CampaignConfig& config,
+                                   const std::filesystem::path& cache_path) {
+  if (!cache_path.empty() && std::filesystem::exists(cache_path)) {
+    CampaignResult cached = CampaignResult::load_csv(cache_path);
+    // Validate against the current netlist + config before trusting it.
+    const auto ffs = nl.flip_flops();
+    const std::size_t expected =
+        config.ff_subset.empty() ? ffs.size() : config.ff_subset.size();
+    bool valid = cached.per_ff.size() == expected;
+    if (valid) {
+      for (const FfResult& ff : cached.per_ff) {
+        if (ff.ff_index >= ffs.size() ||
+            nl.cell(ffs[ff.ff_index]).name != ff.name ||
+            ff.injections != config.injections_per_ff) {
+          valid = false;
+          break;
+        }
+      }
+    }
+    if (valid) return cached;
+  }
+  CampaignResult fresh = run_campaign(nl, tb, golden, config);
+  if (!cache_path.empty()) {
+    std::filesystem::create_directories(cache_path.parent_path());
+    fresh.save_csv(cache_path);
+  }
+  return fresh;
+}
+
+}  // namespace ffr::fault

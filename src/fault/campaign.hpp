@@ -1,0 +1,77 @@
+#pragma once
+// Flat statistical fault-injection campaign (paper §IV-A): for every
+// flip-flop, N single-event upsets are injected at random cycles inside the
+// testbench's active window; each run is classified against the golden frame
+// stream and the Functional De-Rating factor is failures / injections.
+//
+// Injections are packed 64 per simulation pass (one lane per injection time),
+// so a full 947-FF x 170-injection campaign costs ~3 passes per flip-flop.
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fault/classification.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/runner.hpp"
+
+namespace ffr::fault {
+
+struct CampaignConfig {
+  std::size_t injections_per_ff = 170;  // the paper's setting
+  std::uint64_t seed = 0xFA57;
+  std::size_t num_threads = 0;  // 0 = hardware concurrency
+  /// Restrict the campaign to these flip-flop indices (positions within
+  /// Netlist::flip_flops()). Empty = all flip-flops.
+  std::vector<std::size_t> ff_subset;
+};
+
+/// Result for one flip-flop.
+struct FfResult {
+  std::size_t ff_index = 0;       // position within Netlist::flip_flops()
+  std::string name;               // cell name
+  std::uint64_t injections = 0;
+  ClassCounts classes;
+
+  [[nodiscard]] double fdr() const noexcept {
+    return injections == 0
+               ? 0.0
+               : static_cast<double>(classes.failures()) /
+                     static_cast<double>(injections);
+  }
+};
+
+struct CampaignResult {
+  std::vector<FfResult> per_ff;
+  std::uint64_t total_injections = 0;
+  std::uint64_t total_sim_passes = 0;
+  double wall_seconds = 0.0;
+
+  /// FDR values in per_ff order.
+  [[nodiscard]] std::vector<double> fdr_vector() const;
+
+  /// Circuit-level average FDR (unweighted over flip-flops).
+  [[nodiscard]] double mean_fdr() const;
+
+  void save_csv(const std::filesystem::path& path) const;
+  [[nodiscard]] static CampaignResult load_csv(const std::filesystem::path& path);
+};
+
+/// Runs the campaign. The golden result must come from the same testbench.
+[[nodiscard]] CampaignResult run_campaign(const netlist::Netlist& nl,
+                                          const sim::Testbench& tb,
+                                          const sim::GoldenResult& golden,
+                                          const CampaignConfig& config = {});
+
+/// Disk-cached campaign: loads `cache_path` if it exists and matches the
+/// netlist's flip-flop census; otherwise runs and saves. Pass an empty path
+/// to always run. Used by the benchmark harnesses so the flat campaign is
+/// executed once and shared.
+[[nodiscard]] CampaignResult run_campaign_cached(
+    const netlist::Netlist& nl, const sim::Testbench& tb,
+    const sim::GoldenResult& golden, const CampaignConfig& config,
+    const std::filesystem::path& cache_path);
+
+}  // namespace ffr::fault

@@ -1,0 +1,40 @@
+#include "fault/classification.hpp"
+
+namespace ffr::fault {
+
+std::string_view to_string(FailureClass cls) noexcept {
+  switch (cls) {
+    case FailureClass::kOk: return "ok";
+    case FailureClass::kFrameLoss: return "frame_loss";
+    case FailureClass::kSpuriousFrame: return "spurious_frame";
+    case FailureClass::kPayloadCorruption: return "payload_corruption";
+    case FailureClass::kDetectedError: return "detected_error";
+    case FailureClass::kNumClasses: break;
+  }
+  return "unknown";
+}
+
+FailureClass classify(const sim::FrameList& golden, const sim::FrameList& observed) {
+  if (observed.size() < golden.size()) return FailureClass::kFrameLoss;
+  if (observed.size() > golden.size()) return FailureClass::kSpuriousFrame;
+  bool any_silent_corruption = false;
+  bool any_detected = false;
+  for (std::size_t f = 0; f < golden.size(); ++f) {
+    const sim::Frame& want = golden[f];
+    const sim::Frame& got = observed[f];
+    if (got.err && !want.err) {
+      any_detected = true;
+    } else if (got.err == want.err && got.bytes != want.bytes) {
+      any_silent_corruption = true;
+    } else if (!got.err && want.err) {
+      // A frame golden flagged bad arrives "clean": treat as corruption of
+      // the expected stream (the golden bench never produces this).
+      any_silent_corruption = true;
+    }
+  }
+  if (any_silent_corruption) return FailureClass::kPayloadCorruption;
+  if (any_detected) return FailureClass::kDetectedError;
+  return FailureClass::kOk;
+}
+
+}  // namespace ffr::fault

@@ -1,0 +1,178 @@
+#include "features/extractor.hpp"
+
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace ffr::features {
+
+void FeatureMatrix::save_csv(const std::filesystem::path& path) const {
+  util::CsvTable table;
+  table.header.push_back("name");
+  for (const auto feature_name : feature_names()) {
+    table.header.emplace_back(feature_name);
+  }
+  for (std::size_t r = 0; r < values.rows(); ++r) {
+    std::vector<std::string> row;
+    row.push_back(ff_names.at(r));
+    for (std::size_t c = 0; c < values.cols(); ++c) {
+      row.push_back(util::CsvWriter::format_double(values(r, c)));
+    }
+    table.rows.push_back(std::move(row));
+  }
+  util::write_csv_file(path, table);
+}
+
+FeatureMatrix FeatureMatrix::load_csv(const std::filesystem::path& path) {
+  const util::CsvTable table = util::read_csv_file(path);
+  FeatureMatrix fm;
+  fm.values = linalg::Matrix(table.num_rows(), kNumFeatures);
+  const std::size_t name_col = table.column_index("name");
+  std::vector<std::size_t> cols;
+  for (const auto feature_name : feature_names()) {
+    cols.push_back(table.column_index(feature_name));
+  }
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    fm.ff_names.push_back(table.rows[r].at(name_col));
+    for (std::size_t c = 0; c < kNumFeatures; ++c) {
+      fm.values(r, c) = std::stod(table.rows[r].at(cols[c]));
+    }
+  }
+  return fm;
+}
+
+namespace {
+
+FeatureMatrix extract_impl(const netlist::Netlist& nl,
+                           const sim::ActivityTrace* activity) {
+  const auto ffs = nl.flip_flops();
+  if (activity != nullptr && activity->cycles_at_1.size() != ffs.size()) {
+    throw std::invalid_argument("extract_features: activity/FF count mismatch");
+  }
+  const FfGraph graph = build_ff_graph(nl);
+
+  FeatureMatrix fm;
+  fm.values = linalg::Matrix(ffs.size(), kNumFeatures);
+  fm.ff_names.reserve(ffs.size());
+
+  // Per-PI and per-PO distance fields over the FF graph (unit weights, via
+  // Dijkstra per the paper). Distances from a PI start at 1 for directly-fed
+  // flip-flops; symmetrically for POs on the reversed graph.
+  std::vector<std::vector<std::uint32_t>> dist_from_pi;
+  dist_from_pi.reserve(graph.pi_to_ffs.size());
+  for (const auto& fed : graph.pi_to_ffs) {
+    dist_from_pi.push_back(dijkstra_unit(graph.successors, fed, 1));
+  }
+  std::vector<std::vector<std::uint32_t>> dist_to_po;
+  dist_to_po.reserve(graph.po_from_ffs.size());
+  for (const auto& feeders : graph.po_from_ffs) {
+    dist_to_po.push_back(dijkstra_unit(graph.predecessors, feeders, 1));
+  }
+
+  for (std::size_t i = 0; i < ffs.size(); ++i) {
+    const netlist::Cell& cell = nl.cell(ffs[i]);
+    fm.ff_names.push_back(cell.name);
+    auto set = [&](Feature f, double v) { fm.values(i, index_of(f)) = v; };
+
+    // Structural.
+    set(Feature::kFfFanIn, static_cast<double>(graph.predecessors[i].size()));
+    set(Feature::kFfFanOut, static_cast<double>(graph.successors[i].size()));
+    set(Feature::kTotalFfsFrom,
+        static_cast<double>(count_reachable(graph.predecessors, static_cast<std::uint32_t>(i))));
+    set(Feature::kTotalFfsTo,
+        static_cast<double>(count_reachable(graph.successors, static_cast<std::uint32_t>(i))));
+    set(Feature::kConnFromPrimaryInput, static_cast<double>(graph.pis_in_cone[i]));
+    set(Feature::kConnToPrimaryOutput, static_cast<double>(graph.ff_to_pos[i].size()));
+
+    // Proximity: min/avg/max over the PIs (POs) that actually reach the FF.
+    {
+      double min_d = kNoValue;
+      double max_d = kNoValue;
+      double sum = 0.0;
+      std::size_t reached = 0;
+      for (const auto& dist : dist_from_pi) {
+        const std::uint32_t d = dist[i];
+        if (d == kUnreachable) continue;
+        ++reached;
+        sum += d;
+        if (min_d < 0 || d < min_d) min_d = d;
+        if (d > max_d) max_d = d;
+      }
+      set(Feature::kProximityFromPiMin, min_d);
+      set(Feature::kProximityFromPiAvg,
+          reached == 0 ? kNoValue : sum / static_cast<double>(reached));
+      set(Feature::kProximityFromPiMax, max_d);
+    }
+    {
+      double min_d = kNoValue;
+      double max_d = kNoValue;
+      double sum = 0.0;
+      std::size_t reached = 0;
+      for (const auto& dist : dist_to_po) {
+        const std::uint32_t d = dist[i];
+        if (d == kUnreachable) continue;
+        ++reached;
+        sum += d;
+        if (min_d < 0 || d < min_d) min_d = d;
+        if (d > max_d) max_d = d;
+      }
+      set(Feature::kProximityToPoMin, min_d);
+      set(Feature::kProximityToPoAvg,
+          reached == 0 ? kNoValue : sum / static_cast<double>(reached));
+      set(Feature::kProximityToPoMax, max_d);
+    }
+
+    // Bus membership.
+    const auto bus = nl.bus_of(ffs[i]);
+    set(Feature::kPartOfBus, bus.has_value() ? 1.0 : 0.0);
+    set(Feature::kBusPosition,
+        bus.has_value() ? static_cast<double>(bus->second) : kNoValue);
+    set(Feature::kBusLength,
+        bus.has_value()
+            ? static_cast<double>(nl.register_buses()[bus->first].flip_flops.size())
+            : 0.0);
+
+    set(Feature::kConnConstantDrivers,
+        static_cast<double>(graph.const_drivers_in[i]));
+
+    const std::uint32_t loop =
+        shortest_cycle_through(graph.successors, static_cast<std::uint32_t>(i));
+    set(Feature::kHasFeedbackLoop, loop == kUnreachable ? 0.0 : 1.0);
+    set(Feature::kFeedbackLoopDepth,
+        loop == kUnreachable ? kNoValue : static_cast<double>(loop));
+
+    // Synthesis attributes.
+    set(Feature::kDriveStrength, static_cast<double>(static_cast<int>(cell.drive)));
+    set(Feature::kCombFanIn, static_cast<double>(graph.comb_fan_in[i]));
+    set(Feature::kCombFanOut, static_cast<double>(graph.comb_fan_out[i]));
+    set(Feature::kCombPathDepth, static_cast<double>(graph.comb_path_depth[i]));
+
+    // Dynamic.
+    if (activity != nullptr && activity->total_cycles > 0) {
+      const double total = static_cast<double>(activity->total_cycles);
+      const double at1 = static_cast<double>(activity->cycles_at_1[i]) / total;
+      set(Feature::kAt0Ratio, 1.0 - at1);
+      set(Feature::kAt1Ratio, at1);
+      set(Feature::kStateChanges,
+          static_cast<double>(activity->state_changes[i]));
+    } else {
+      set(Feature::kAt0Ratio, 0.0);
+      set(Feature::kAt1Ratio, 0.0);
+      set(Feature::kStateChanges, 0.0);
+    }
+  }
+  return fm;
+}
+
+}  // namespace
+
+FeatureMatrix extract_features(const netlist::Netlist& nl,
+                               const sim::ActivityTrace& activity) {
+  return extract_impl(nl, &activity);
+}
+
+FeatureMatrix extract_static_features(const netlist::Netlist& nl) {
+  return extract_impl(nl, nullptr);
+}
+
+}  // namespace ffr::features

@@ -1,0 +1,45 @@
+#pragma once
+// Assembles the per-flip-flop feature matrix (paper §III-B) from the netlist
+// graph (structural), cell attributes (synthesis) and the golden-run
+// activity trace (dynamic).
+
+#include <filesystem>
+
+#include "features/feature_set.hpp"
+#include "features/graph.hpp"
+#include "linalg/matrix.hpp"
+#include "sim/runner.hpp"
+
+namespace ffr::features {
+
+struct FeatureMatrix {
+  /// rows = flip-flops in Netlist::flip_flops() order, cols = kNumFeatures.
+  linalg::Matrix values;
+  std::vector<std::string> ff_names;
+
+  [[nodiscard]] std::size_t num_ffs() const noexcept { return values.rows(); }
+
+  /// Column vector of one feature.
+  [[nodiscard]] linalg::Vector column(Feature feature) const {
+    return values.col_copy(index_of(feature));
+  }
+
+  void save_csv(const std::filesystem::path& path) const;
+  [[nodiscard]] static FeatureMatrix load_csv(const std::filesystem::path& path);
+};
+
+/// Sentinel used for "no value" features (bus position without a bus,
+/// feedback depth without a loop, proximity when unreachable), matching the
+/// paper's -1 convention.
+inline constexpr double kNoValue = -1.0;
+
+/// Extracts every feature. `activity` must come from a golden run of the
+/// same netlist (sim::run_golden).
+[[nodiscard]] FeatureMatrix extract_features(const netlist::Netlist& nl,
+                                             const sim::ActivityTrace& activity);
+
+/// Structural + synthesis features only (activity columns filled with 0);
+/// useful when no testbench is available.
+[[nodiscard]] FeatureMatrix extract_static_features(const netlist::Netlist& nl);
+
+}  // namespace ffr::features

@@ -1,0 +1,73 @@
+#include "features/feature_set.hpp"
+
+namespace ffr::features {
+
+std::string_view to_string(Feature feature) noexcept {
+  switch (feature) {
+    case Feature::kFfFanIn: return "ff_fan_in";
+    case Feature::kFfFanOut: return "ff_fan_out";
+    case Feature::kTotalFfsFrom: return "total_ffs_from";
+    case Feature::kTotalFfsTo: return "total_ffs_to";
+    case Feature::kConnFromPrimaryInput: return "conn_from_pi";
+    case Feature::kConnToPrimaryOutput: return "conn_to_po";
+    case Feature::kProximityFromPiMin: return "prox_from_pi_min";
+    case Feature::kProximityFromPiAvg: return "prox_from_pi_avg";
+    case Feature::kProximityFromPiMax: return "prox_from_pi_max";
+    case Feature::kProximityToPoMin: return "prox_to_po_min";
+    case Feature::kProximityToPoAvg: return "prox_to_po_avg";
+    case Feature::kProximityToPoMax: return "prox_to_po_max";
+    case Feature::kPartOfBus: return "part_of_bus";
+    case Feature::kBusPosition: return "bus_position";
+    case Feature::kBusLength: return "bus_length";
+    case Feature::kConnConstantDrivers: return "conn_const_drivers";
+    case Feature::kHasFeedbackLoop: return "has_feedback_loop";
+    case Feature::kFeedbackLoopDepth: return "feedback_loop_depth";
+    case Feature::kDriveStrength: return "drive_strength";
+    case Feature::kCombFanIn: return "comb_fan_in";
+    case Feature::kCombFanOut: return "comb_fan_out";
+    case Feature::kCombPathDepth: return "comb_path_depth";
+    case Feature::kAt0Ratio: return "at0_ratio";
+    case Feature::kAt1Ratio: return "at1_ratio";
+    case Feature::kStateChanges: return "state_changes";
+    case Feature::kNumFeatures: break;
+  }
+  return "unknown";
+}
+
+std::vector<std::string_view> feature_names() {
+  std::vector<std::string_view> names;
+  names.reserve(kNumFeatures);
+  for (std::size_t i = 0; i < kNumFeatures; ++i) {
+    names.push_back(to_string(static_cast<Feature>(i)));
+  }
+  return names;
+}
+
+std::vector<std::size_t> structural_feature_indices() {
+  std::vector<std::size_t> idx;
+  for (std::size_t i = index_of(Feature::kFfFanIn);
+       i <= index_of(Feature::kFeedbackLoopDepth); ++i) {
+    idx.push_back(i);
+  }
+  return idx;
+}
+
+std::vector<std::size_t> synthesis_feature_indices() {
+  std::vector<std::size_t> idx;
+  for (std::size_t i = index_of(Feature::kDriveStrength);
+       i <= index_of(Feature::kCombPathDepth); ++i) {
+    idx.push_back(i);
+  }
+  return idx;
+}
+
+std::vector<std::size_t> dynamic_feature_indices() {
+  std::vector<std::size_t> idx;
+  for (std::size_t i = index_of(Feature::kAt0Ratio);
+       i <= index_of(Feature::kStateChanges); ++i) {
+    idx.push_back(i);
+  }
+  return idx;
+}
+
+}  // namespace ffr::features

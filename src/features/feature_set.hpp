@@ -1,0 +1,64 @@
+#pragma once
+// The per-flip-flop feature set of paper §III-B: structural features from
+// the netlist graph, synthesis attributes, and dynamic signal activity.
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+namespace ffr::features {
+
+/// Feature indices; the order defines FeatureMatrix columns.
+enum class Feature : std::size_t {
+  // Structural (gate-level netlist graph).
+  kFfFanIn = 0,          // FFs directly feeding the D cone
+  kFfFanOut,             // FFs directly fed from Q
+  kTotalFfsFrom,         // transitive FF predecessors
+  kTotalFfsTo,           // transitive FF successors
+  kConnFromPrimaryInput,   // PIs directly feeding the D cone
+  kConnToPrimaryOutput,    // POs directly reachable from Q
+  kProximityFromPiMin,   // sequential stages from nearest reachable PI
+  kProximityFromPiAvg,
+  kProximityFromPiMax,
+  kProximityToPoMin,     // sequential stages to nearest reachable PO
+  kProximityToPoAvg,
+  kProximityToPoMax,
+  kPartOfBus,            // 1 if the FF belongs to a register bus
+  kBusPosition,          // bit index within the bus, -1 if none
+  kBusLength,            // bus width, 0 if none
+  kConnConstantDrivers,  // tie cells in the D cone
+  kHasFeedbackLoop,      // Q reaches own D through >= 1 sequential stage
+  kFeedbackLoopDepth,    // minimum loop length in stages, -1 if none
+  // Synthesis attributes.
+  kDriveStrength,        // X1/X2/X4 as 1/2/4
+  kCombFanIn,            // combinational cells in the D cone
+  kCombFanOut,           // combinational cells in the Q cone
+  kCombPathDepth,        // longest gate path leaving Q
+  // Dynamic (signal activity under the workload).
+  kAt0Ratio,             // fraction of cycles at logic 0
+  kAt1Ratio,             // fraction of cycles at logic 1
+  kStateChanges,         // number of output transitions
+  kNumFeatures,
+};
+
+inline constexpr std::size_t kNumFeatures =
+    static_cast<std::size_t>(Feature::kNumFeatures);
+
+[[nodiscard]] std::string_view to_string(Feature feature) noexcept;
+
+/// All feature names, in column order.
+[[nodiscard]] std::vector<std::string_view> feature_names();
+
+/// Column index helper.
+[[nodiscard]] constexpr std::size_t index_of(Feature feature) noexcept {
+  return static_cast<std::size_t>(feature);
+}
+
+/// Feature groups for the ablation study (DESIGN.md: structural-only vs
+/// +synthesis vs +dynamic).
+[[nodiscard]] std::vector<std::size_t> structural_feature_indices();
+[[nodiscard]] std::vector<std::size_t> synthesis_feature_indices();
+[[nodiscard]] std::vector<std::size_t> dynamic_feature_indices();
+
+}  // namespace ffr::features

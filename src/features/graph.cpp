@@ -1,0 +1,231 @@
+#include "features/graph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <stdexcept>
+
+namespace ffr::features {
+
+namespace {
+
+using netlist::CellId;
+using netlist::Netlist;
+using netlist::NetId;
+
+// Sort + dedupe an adjacency list in place.
+void dedupe(std::vector<std::uint32_t>& list) {
+  std::sort(list.begin(), list.end());
+  list.erase(std::unique(list.begin(), list.end()), list.end());
+}
+
+}  // namespace
+
+FfGraph build_ff_graph(const Netlist& nl) {
+  if (!nl.finalized()) throw std::invalid_argument("build_ff_graph: not finalized");
+  FfGraph graph;
+  const auto ffs = nl.flip_flops();
+  graph.num_ffs = ffs.size();
+
+  // Cell -> ff index map.
+  std::vector<std::uint32_t> ff_index(nl.num_cells(), kUnreachable);
+  for (std::uint32_t i = 0; i < ffs.size(); ++i) ff_index[ffs[i]] = i;
+
+  // Net -> po indices (a net may back several output ports).
+  std::vector<std::vector<std::uint32_t>> po_of_net(nl.num_nets());
+  const auto pos = nl.primary_outputs();
+  for (std::uint32_t p = 0; p < pos.size(); ++p) po_of_net[pos[p]].push_back(p);
+
+  graph.successors.resize(ffs.size());
+  graph.predecessors.resize(ffs.size());
+  graph.pi_to_ffs.resize(nl.primary_inputs().size());
+  graph.ff_to_pos.resize(ffs.size());
+  graph.po_from_ffs.resize(pos.size());
+  graph.comb_fan_in.assign(ffs.size(), 0);
+  graph.const_drivers_in.assign(ffs.size(), 0);
+  graph.pis_in_cone.assign(ffs.size(), 0);
+  graph.comb_fan_out.assign(ffs.size(), 0);
+  graph.comb_path_depth.assign(ffs.size(), 0);
+
+  // ---- forward sweep from every source (FF Q / PI) --------------------------
+  // BFS through combinational cells, collecting reached FF sinks and POs.
+  std::vector<std::uint32_t> net_mark(nl.num_nets(), kUnreachable);
+  std::vector<std::uint32_t> cell_mark(nl.num_cells(), kUnreachable);
+  std::uint32_t sweep = 0;
+  std::size_t comb_cells_seen = 0;
+
+  const auto forward_sweep = [&](NetId source_net,
+                                 std::vector<std::uint32_t>& ff_sinks,
+                                 std::vector<std::uint32_t>& po_sinks) {
+    ++sweep;
+    comb_cells_seen = 0;
+    std::deque<NetId> frontier{source_net};
+    net_mark[source_net] = sweep;
+    while (!frontier.empty()) {
+      const NetId net = frontier.front();
+      frontier.pop_front();
+      for (const std::uint32_t po : po_of_net[net]) po_sinks.push_back(po);
+      for (const CellId reader : nl.net(net).readers) {
+        const netlist::Cell& cell = nl.cell(reader);
+        if (netlist::is_sequential(cell.func)) {
+          ff_sinks.push_back(ff_index[reader]);
+          continue;
+        }
+        if (cell_mark[reader] == sweep) continue;
+        cell_mark[reader] = sweep;
+        ++comb_cells_seen;
+        if (net_mark[cell.output] != sweep) {
+          net_mark[cell.output] = sweep;
+          frontier.push_back(cell.output);
+        }
+      }
+    }
+    dedupe(ff_sinks);
+    dedupe(po_sinks);
+  };
+
+  for (std::uint32_t i = 0; i < ffs.size(); ++i) {
+    forward_sweep(nl.cell(ffs[i]).output, graph.successors[i], graph.ff_to_pos[i]);
+    graph.comb_fan_out[i] = static_cast<std::uint32_t>(comb_cells_seen);
+    for (const std::uint32_t succ : graph.successors[i]) {
+      graph.predecessors[succ].push_back(i);
+    }
+    for (const std::uint32_t po : graph.ff_to_pos[i]) {
+      graph.po_from_ffs[po].push_back(i);
+    }
+  }
+  const auto pis = nl.primary_inputs();
+  for (std::uint32_t p = 0; p < pis.size(); ++p) {
+    std::vector<std::uint32_t> po_sinks;  // PI->PO paths not needed, discarded
+    forward_sweep(pis[p], graph.pi_to_ffs[p], po_sinks);
+  }
+  for (auto& preds : graph.predecessors) dedupe(preds);
+  for (auto& froms : graph.po_from_ffs) dedupe(froms);
+
+  // ---- backward input cones --------------------------------------------------
+  for (std::uint32_t i = 0; i < ffs.size(); ++i) {
+    ++sweep;
+    std::uint32_t comb_count = 0;
+    std::uint32_t const_count = 0;
+    std::uint32_t pi_count = 0;
+    std::deque<NetId> frontier{nl.cell(ffs[i]).inputs[0]};
+    net_mark[frontier.front()] = sweep;
+    while (!frontier.empty()) {
+      const NetId net = frontier.front();
+      frontier.pop_front();
+      const netlist::Net& net_obj = nl.net(net);
+      if (net_obj.pi_index >= 0) {
+        ++pi_count;
+        continue;
+      }
+      const netlist::Cell& driver = nl.cell(net_obj.driver);
+      if (netlist::is_sequential(driver.func)) continue;  // stage boundary
+      if (cell_mark[net_obj.driver] == sweep) continue;
+      cell_mark[net_obj.driver] = sweep;
+      if (netlist::is_constant(driver.func)) {
+        ++const_count;
+        continue;
+      }
+      ++comb_count;
+      for (const NetId in : driver.inputs) {
+        if (net_mark[in] != sweep) {
+          net_mark[in] = sweep;
+          frontier.push_back(in);
+        }
+      }
+    }
+    graph.comb_fan_in[i] = comb_count;
+    graph.const_drivers_in[i] = const_count;
+    graph.pis_in_cone[i] = pi_count;
+  }
+
+  // ---- longest combinational path from each Q ---------------------------------
+  // DP over the reversed topological order: depth_after(cell) = 1 + longest
+  // chain of combinational readers of its output.
+  {
+    std::vector<std::uint32_t> cell_depth(nl.num_cells(), 0);
+    const auto topo = nl.topo_order();
+    const auto net_forward_depth = [&](NetId net) {
+      std::uint32_t best = 0;
+      for (const CellId reader : nl.net(net).readers) {
+        if (netlist::is_sequential(nl.cell(reader).func)) continue;
+        best = std::max(best, cell_depth[reader]);
+      }
+      return best;
+    };
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+      const CellId id = *it;
+      cell_depth[id] = 1 + net_forward_depth(nl.cell(id).output);
+    }
+    for (std::uint32_t i = 0; i < ffs.size(); ++i) {
+      graph.comb_path_depth[i] = net_forward_depth(nl.cell(ffs[i]).output);
+    }
+  }
+
+  return graph;
+}
+
+std::vector<std::uint32_t> dijkstra_unit(
+    const std::vector<std::vector<std::uint32_t>>& adjacency,
+    const std::vector<std::uint32_t>& sources, std::uint32_t source_distance) {
+  std::vector<std::uint32_t> dist(adjacency.size(), kUnreachable);
+  // Unit weights: Dijkstra's priority queue degenerates to BFS order, but we
+  // keep the PQ formulation to mirror the paper's algorithm choice.
+  using Entry = std::pair<std::uint32_t, std::uint32_t>;  // (dist, node)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+  for (const std::uint32_t s : sources) {
+    if (s >= adjacency.size()) throw std::out_of_range("dijkstra_unit: source");
+    if (source_distance < dist[s]) {
+      dist[s] = source_distance;
+      queue.push({source_distance, s});
+    }
+  }
+  while (!queue.empty()) {
+    const auto [d, node] = queue.top();
+    queue.pop();
+    if (d != dist[node]) continue;  // stale entry
+    for (const std::uint32_t next : adjacency[node]) {
+      if (d + 1 < dist[next]) {
+        dist[next] = d + 1;
+        queue.push({d + 1, next});
+      }
+    }
+  }
+  return dist;
+}
+
+std::size_t count_reachable(
+    const std::vector<std::vector<std::uint32_t>>& adjacency, std::uint32_t source) {
+  std::vector<bool> visited(adjacency.size(), false);
+  std::vector<std::uint32_t> stack;
+  std::size_t count = 0;
+  for (const std::uint32_t next : adjacency[source]) {
+    if (!visited[next]) {
+      visited[next] = true;
+      stack.push_back(next);
+      ++count;
+    }
+  }
+  while (!stack.empty()) {
+    const std::uint32_t node = stack.back();
+    stack.pop_back();
+    for (const std::uint32_t next : adjacency[node]) {
+      if (!visited[next]) {
+        visited[next] = true;
+        stack.push_back(next);
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+std::uint32_t shortest_cycle_through(
+    const std::vector<std::vector<std::uint32_t>>& adjacency, std::uint32_t node) {
+  // BFS from the node's successors back to the node.
+  const std::vector<std::uint32_t> dist =
+      dijkstra_unit(adjacency, adjacency[node], 1);
+  return dist[node];
+}
+
+}  // namespace ffr::features

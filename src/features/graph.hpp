@@ -1,0 +1,63 @@
+#pragma once
+// Flip-flop-level graph view of a netlist plus the shortest-path machinery
+// (the paper converts the gate-level netlist into a graph and runs graph
+// algorithms such as Dijkstra's on it, §III-B).
+//
+// Nodes are flip-flops; an edge A -> B exists when A's Q reaches B's D
+// through combinational logic only (one sequential "stage"). Primary inputs
+// and outputs attach as source/sink adjacency lists.
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace ffr::features {
+
+inline constexpr std::uint32_t kUnreachable =
+    std::numeric_limits<std::uint32_t>::max();
+
+struct FfGraph {
+  std::size_t num_ffs = 0;
+  /// ff -> directly-reached ffs (deduplicated, sorted).
+  std::vector<std::vector<std::uint32_t>> successors;
+  std::vector<std::vector<std::uint32_t>> predecessors;
+  /// pi index -> directly-fed ffs.
+  std::vector<std::vector<std::uint32_t>> pi_to_ffs;
+  /// ff -> directly-reached po indices.
+  std::vector<std::vector<std::uint32_t>> ff_to_pos;
+  /// po index -> ffs with a direct combinational path to it (reverse view).
+  std::vector<std::vector<std::uint32_t>> po_from_ffs;
+  /// Per-ff counts over the *input cone* (combinational backward traversal
+  /// from D to the previous sequential/PI boundary).
+  std::vector<std::uint32_t> comb_fan_in;        // comb cells in the cone
+  std::vector<std::uint32_t> const_drivers_in;   // tie cells in the cone
+  std::vector<std::uint32_t> pis_in_cone;        // distinct PIs feeding the cone
+  /// Per-ff counts over the *output cone* (forward from Q).
+  std::vector<std::uint32_t> comb_fan_out;
+  /// Longest combinational gate path leaving Q.
+  std::vector<std::uint32_t> comb_path_depth;
+};
+
+/// Builds the graph; the netlist must be finalized.
+[[nodiscard]] FfGraph build_ff_graph(const netlist::Netlist& nl);
+
+/// Dijkstra over an adjacency list with unit edge weights from a (multi-)
+/// source set. Returns per-node distance, kUnreachable where unreached.
+/// Source nodes get distance `source_distance` (default 0).
+[[nodiscard]] std::vector<std::uint32_t> dijkstra_unit(
+    const std::vector<std::vector<std::uint32_t>>& adjacency,
+    const std::vector<std::uint32_t>& sources, std::uint32_t source_distance = 0);
+
+/// Number of nodes reachable from `source` (excluding the source itself
+/// unless it lies on a cycle back to itself).
+[[nodiscard]] std::size_t count_reachable(
+    const std::vector<std::vector<std::uint32_t>>& adjacency, std::uint32_t source);
+
+/// Length (in edges) of the shortest cycle through `node`, or kUnreachable
+/// if the node is not on any cycle.
+[[nodiscard]] std::uint32_t shortest_cycle_through(
+    const std::vector<std::vector<std::uint32_t>>& adjacency, std::uint32_t node);
+
+}  // namespace ffr::features

@@ -1,0 +1,153 @@
+#include "linalg/decompositions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ffr::linalg {
+
+QrDecomposition::QrDecomposition(Matrix a) : qr_(std::move(a)) {
+  const std::size_t m = qr_.rows();
+  const std::size_t n = qr_.cols();
+  const std::size_t k = std::min(m, n);
+  tau_.assign(k, 0.0);
+  perm_.resize(n);
+  for (std::size_t j = 0; j < n; ++j) perm_[j] = j;
+
+  // Column norms for pivoting.
+  Vector col_norms(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) col_norms[j] = norm2(qr_.col_copy(j));
+  const double total_scale = *std::max_element(col_norms.begin(), col_norms.end());
+  const double tol = std::max(m, n) * 1e-13 * std::max(total_scale, 1e-300);
+
+  rank_ = 0;
+  for (std::size_t step = 0; step < k; ++step) {
+    // Pivot: bring the column with the largest remaining norm to `step`.
+    std::size_t pivot = step;
+    double best = -1.0;
+    for (std::size_t j = step; j < n; ++j) {
+      double norm_sq = 0.0;
+      for (std::size_t i = step; i < m; ++i) norm_sq += qr_(i, j) * qr_(i, j);
+      if (norm_sq > best) {
+        best = norm_sq;
+        pivot = j;
+      }
+    }
+    if (pivot != step) {
+      for (std::size_t i = 0; i < m; ++i) std::swap(qr_(i, step), qr_(i, pivot));
+      std::swap(perm_[step], perm_[pivot]);
+    }
+
+    // Householder vector for column `step`.
+    double alpha = 0.0;
+    for (std::size_t i = step; i < m; ++i) alpha += qr_(i, step) * qr_(i, step);
+    alpha = std::sqrt(alpha);
+    if (alpha <= tol) {
+      tau_[step] = 0.0;
+      continue;  // remaining block numerically zero
+    }
+    ++rank_;
+    if (qr_(step, step) > 0) alpha = -alpha;
+    const double v0 = qr_(step, step) - alpha;
+    qr_(step, step) = alpha;  // R diagonal entry
+    // Store v (scaled so v[0] = 1) below the diagonal.
+    for (std::size_t i = step + 1; i < m; ++i) qr_(i, step) /= v0;
+    tau_[step] = -v0 / alpha;
+
+    // Apply H = I - tau v v^T to the trailing columns.
+    for (std::size_t j = step + 1; j < n; ++j) {
+      double s = qr_(step, j);
+      for (std::size_t i = step + 1; i < m; ++i) s += qr_(i, step) * qr_(i, j);
+      s *= tau_[step];
+      qr_(step, j) -= s;
+      for (std::size_t i = step + 1; i < m; ++i) qr_(i, j) -= s * qr_(i, step);
+    }
+  }
+}
+
+Vector QrDecomposition::apply_qt(std::span<const double> b) const {
+  const std::size_t m = qr_.rows();
+  if (b.size() != m) throw std::invalid_argument("apply_qt: size mismatch");
+  Vector y(b.begin(), b.end());
+  const std::size_t k = tau_.size();
+  for (std::size_t step = 0; step < k; ++step) {
+    if (tau_[step] == 0.0) continue;
+    double s = y[step];
+    for (std::size_t i = step + 1; i < m; ++i) s += qr_(i, step) * y[i];
+    s *= tau_[step];
+    y[step] -= s;
+    for (std::size_t i = step + 1; i < m; ++i) y[i] -= s * qr_(i, step);
+  }
+  return y;
+}
+
+Vector QrDecomposition::solve(std::span<const double> b) const {
+  const std::size_t n = qr_.cols();
+  Vector y = apply_qt(b);
+
+  // Back substitution on the leading rank_ x rank_ block of R.
+  Vector z(n, 0.0);
+  for (std::size_t ii = rank_; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t j = ii + 1; j < rank_; ++j) s -= qr_(ii, j) * z[j];
+    z[ii] = s / qr_(ii, ii);
+  }
+
+  // Undo the column permutation.
+  Vector x(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) x[perm_[j]] = z[j];
+  return x;
+}
+
+CholeskyDecomposition::CholeskyDecomposition(const Matrix& a) {
+  if (a.rows() != a.cols()) throw std::invalid_argument("Cholesky: non-square");
+  const std::size_t n = a.rows();
+  l_ = Matrix(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l_(i, k) * l_(j, k);
+      if (i == j) {
+        if (s <= 0.0) throw std::runtime_error("Cholesky: matrix not SPD");
+        l_(i, i) = std::sqrt(s);
+      } else {
+        l_(i, j) = s / l_(j, j);
+      }
+    }
+  }
+}
+
+Vector CholeskyDecomposition::solve(std::span<const double> b) const {
+  const std::size_t n = l_.rows();
+  if (b.size() != n) throw std::invalid_argument("Cholesky solve: size mismatch");
+  // Forward substitution L y = b.
+  Vector y(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l_(i, k) * y[k];
+    y[i] = s / l_(i, i);
+  }
+  // Backward substitution L^T x = y.
+  Vector x(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= l_(k, ii) * x[k];
+    x[ii] = s / l_(ii, ii);
+  }
+  return x;
+}
+
+Vector lstsq(const Matrix& a, std::span<const double> b) {
+  return QrDecomposition(a).solve(b);
+}
+
+Vector ridge_solve(const Matrix& a, std::span<const double> b, double lambda) {
+  if (lambda < 0.0) throw std::invalid_argument("ridge_solve: negative lambda");
+  const Matrix at = a.transposed();
+  Matrix gram = matmul(at, a);
+  for (std::size_t i = 0; i < gram.rows(); ++i) gram(i, i) += lambda;
+  const Vector rhs = matvec(at, b);
+  return CholeskyDecomposition(gram).solve(rhs);
+}
+
+}  // namespace ffr::linalg

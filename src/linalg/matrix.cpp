@@ -1,0 +1,227 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace ffr::linalg {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
+  rows_ = init.size();
+  cols_ = rows_ == 0 ? 0 : init.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : init) {
+    if (row.size() != cols_) {
+      throw std::invalid_argument("Matrix: ragged initializer list");
+    }
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::from_rows(const std::vector<Vector>& rows) {
+  if (rows.empty()) return {};
+  Matrix m(rows.size(), rows.front().size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != m.cols_) {
+      throw std::invalid_argument("Matrix::from_rows: ragged rows");
+    }
+    m.set_row(r, rows[r]);
+  }
+  return m;
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  return (*this)(r, c);
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  return (*this)(r, c);
+}
+
+Vector Matrix::row_copy(std::size_t r) const {
+  const auto view = row(r);
+  return Vector(view.begin(), view.end());
+}
+
+Vector Matrix::col_copy(std::size_t c) const {
+  Vector column(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) column[r] = (*this)(r, c);
+  return column;
+}
+
+void Matrix::set_row(std::size_t r, std::span<const double> values) {
+  if (values.size() != cols_) throw std::invalid_argument("Matrix::set_row size");
+  std::copy(values.begin(), values.end(), data_.begin() + static_cast<long>(r * cols_));
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::select_rows(std::span<const std::size_t> indices) const {
+  Matrix out(indices.size(), cols_);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    if (indices[i] >= rows_) throw std::out_of_range("select_rows index");
+    out.set_row(i, row(indices[i]));
+  }
+  return out;
+}
+
+Matrix Matrix::select_cols(std::span<const std::size_t> indices) const {
+  Matrix out(rows_, indices.size());
+  for (std::size_t c = 0; c < indices.size(); ++c) {
+    if (indices[c] >= cols_) throw std::out_of_range("select_cols index");
+    for (std::size_t r = 0; r < rows_; ++r) out(r, c) = (*this)(r, indices[c]);
+  }
+  return out;
+}
+
+Matrix Matrix::with_bias_column() const {
+  Matrix out(rows_, cols_ + 1);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    out(r, 0) = 1.0;
+    for (std::size_t c = 0; c < cols_; ++c) out(r, c + 1) = (*this)(r, c);
+  }
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    throw std::invalid_argument("Matrix +=: shape mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    throw std::invalid_argument("Matrix -=: shape mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) {
+  for (double& v : data_) v *= scalar;
+  return *this;
+}
+
+std::string Matrix::to_string(int precision) const {
+  std::ostringstream out;
+  out.precision(precision);
+  out << std::fixed;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    out << '[';
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (c != 0) out << ", ";
+      out << (*this)(r, c);
+    }
+    out << "]\n";
+  }
+  return out.str();
+}
+
+Matrix operator+(Matrix lhs, const Matrix& rhs) { return lhs += rhs; }
+Matrix operator-(Matrix lhs, const Matrix& rhs) { return lhs -= rhs; }
+Matrix operator*(Matrix lhs, double scalar) { return lhs *= scalar; }
+Matrix operator*(double scalar, Matrix rhs) { return rhs *= scalar; }
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) throw std::invalid_argument("matmul: shape mismatch");
+  Matrix out(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) out(i, j) += aik * b(k, j);
+    }
+  }
+  return out;
+}
+
+Vector matvec(const Matrix& a, std::span<const double> x) {
+  if (a.cols() != x.size()) throw std::invalid_argument("matvec: shape mismatch");
+  Vector out(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) out[i] = dot(a.row(i), x);
+  return out;
+}
+
+Vector vecmat(std::span<const double> x, const Matrix& a) {
+  if (a.rows() != x.size()) throw std::invalid_argument("vecmat: shape mismatch");
+  Vector out(a.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    const auto row = a.row(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) out[j] += xi * row[j];
+  }
+  return out;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("dot: size mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double norm2(std::span<const double> a) { return std::sqrt(dot(a, a)); }
+
+double norm1(std::span<const double> a) {
+  double sum = 0.0;
+  for (const double v : a) sum += std::abs(v);
+  return sum;
+}
+
+double norm_inf(std::span<const double> a) {
+  double best = 0.0;
+  for (const double v : a) best = std::max(best, std::abs(v));
+  return best;
+}
+
+Vector axpy(double alpha, std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("axpy: size mismatch");
+  Vector out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = alpha * x[i] + y[i];
+  return out;
+}
+
+double mean(std::span<const double> values) {
+  if (values.empty()) throw std::invalid_argument("mean of empty span");
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double variance(std::span<const double> values) {
+  const double m = mean(values);
+  double sum = 0.0;
+  for (const double v : values) sum += (v - m) * (v - m);
+  return sum / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) { return std::sqrt(variance(values)); }
+
+double min_value(std::span<const double> values) {
+  if (values.empty()) throw std::invalid_argument("min of empty span");
+  return *std::min_element(values.begin(), values.end());
+}
+
+double max_value(std::span<const double> values) {
+  if (values.empty()) throw std::invalid_argument("max of empty span");
+  return *std::max_element(values.begin(), values.end());
+}
+
+}  // namespace ffr::linalg

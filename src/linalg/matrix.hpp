@@ -1,0 +1,112 @@
+#pragma once
+// Dense row-major matrix/vector types backing the from-scratch ML library.
+// Deliberately small: the paper's workloads are ~1000 samples x ~25 features,
+// so clarity and correctness beat BLAS-level performance here.
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ffr::linalg {
+
+using Vector = std::vector<double>;
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Build from nested initializer lists: Matrix{{1,2},{3,4}}.
+  Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+  [[nodiscard]] static Matrix identity(std::size_t n);
+  [[nodiscard]] static Matrix from_rows(const std::vector<Vector>& rows);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked access.
+  [[nodiscard]] double& at(std::size_t r, std::size_t c);
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+  [[nodiscard]] std::span<double> row(std::size_t r) noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  [[nodiscard]] Vector row_copy(std::size_t r) const;
+  [[nodiscard]] Vector col_copy(std::size_t c) const;
+  void set_row(std::size_t r, std::span<const double> values);
+
+  [[nodiscard]] Matrix transposed() const;
+
+  /// Select a subset of rows (used by train/test splits and CV folds).
+  [[nodiscard]] Matrix select_rows(std::span<const std::size_t> indices) const;
+
+  /// Select a subset of columns (used by feature ablations).
+  [[nodiscard]] Matrix select_cols(std::span<const std::size_t> indices) const;
+
+  /// Append a column of ones on the left (bias term for linear models).
+  [[nodiscard]] Matrix with_bias_column() const;
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double scalar);
+
+  [[nodiscard]] std::span<const double> data() const noexcept { return data_; }
+  [[nodiscard]] std::span<double> data() noexcept { return data_; }
+
+  [[nodiscard]] std::string to_string(int precision = 4) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+[[nodiscard]] Matrix operator+(Matrix lhs, const Matrix& rhs);
+[[nodiscard]] Matrix operator-(Matrix lhs, const Matrix& rhs);
+[[nodiscard]] Matrix operator*(Matrix lhs, double scalar);
+[[nodiscard]] Matrix operator*(double scalar, Matrix rhs);
+
+/// Matrix-matrix product. Throws std::invalid_argument on shape mismatch.
+[[nodiscard]] Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// Matrix-vector product.
+[[nodiscard]] Vector matvec(const Matrix& a, std::span<const double> x);
+
+/// x^T * A (row vector times matrix).
+[[nodiscard]] Vector vecmat(std::span<const double> x, const Matrix& a);
+
+// ----- vector helpers -----------------------------------------------------
+
+[[nodiscard]] double dot(std::span<const double> a, std::span<const double> b);
+[[nodiscard]] double norm2(std::span<const double> a);
+[[nodiscard]] double norm1(std::span<const double> a);
+[[nodiscard]] double norm_inf(std::span<const double> a);
+[[nodiscard]] Vector axpy(double alpha, std::span<const double> x,
+                          std::span<const double> y);  // alpha*x + y
+
+[[nodiscard]] double mean(std::span<const double> values);
+/// Population variance (divide by n), matching scikit-learn's
+/// explained_variance_score convention.
+[[nodiscard]] double variance(std::span<const double> values);
+[[nodiscard]] double stddev(std::span<const double> values);
+[[nodiscard]] double min_value(std::span<const double> values);
+[[nodiscard]] double max_value(std::span<const double> values);
+
+}  // namespace ffr::linalg

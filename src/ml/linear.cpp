@@ -1,0 +1,71 @@
+#include "ml/linear.hpp"
+
+#include "linalg/decompositions.hpp"
+
+namespace ffr::ml {
+
+void LinearLeastSquares::fit(const Matrix& x, std::span<const double> y) {
+  check_fit_args(x, y);
+  const Matrix design = x.with_bias_column();
+  const Vector beta = linalg::lstsq(design, y);
+  intercept_ = beta[0];
+  coef_.assign(beta.begin() + 1, beta.end());
+  fitted_ = true;
+}
+
+Vector LinearLeastSquares::predict(const Matrix& x) const {
+  if (!fitted_) throw std::logic_error("LinearLeastSquares: not fitted");
+  if (x.cols() != coef_.size()) {
+    throw std::invalid_argument("predict: feature count mismatch");
+  }
+  Vector out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    out[r] = intercept_ + linalg::dot(x.row(r), coef_);
+  }
+  return out;
+}
+
+void RidgeRegression::set_params(const ParamMap& params) {
+  for (const auto& [key, value] : params) {
+    if (key == "alpha") {
+      alpha_ = value;
+    } else {
+      throw std::invalid_argument("ridge: unknown parameter '" + key + "'");
+    }
+  }
+}
+
+void RidgeRegression::fit(const Matrix& x, std::span<const double> y) {
+  check_fit_args(x, y);
+  // Centre columns and target so the intercept is unpenalized.
+  Vector col_mean(x.cols(), 0.0);
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    col_mean[c] = linalg::mean(x.col_copy(c));
+  }
+  const double y_mean = linalg::mean(y);
+  Matrix centred(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      centred(r, c) = x(r, c) - col_mean[c];
+    }
+  }
+  Vector y_centred(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) y_centred[i] = y[i] - y_mean;
+  coef_ = linalg::ridge_solve(centred, y_centred, alpha_);
+  intercept_ = y_mean - linalg::dot(col_mean, coef_);
+  fitted_ = true;
+}
+
+Vector RidgeRegression::predict(const Matrix& x) const {
+  if (!fitted_) throw std::logic_error("ridge: not fitted");
+  if (x.cols() != coef_.size()) {
+    throw std::invalid_argument("predict: feature count mismatch");
+  }
+  Vector out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    out[r] = intercept_ + linalg::dot(x.row(r), coef_);
+  }
+  return out;
+}
+
+}  // namespace ffr::ml

@@ -1,0 +1,121 @@
+#include "ml/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "linalg/matrix.hpp"
+
+namespace ffr::ml {
+
+namespace {
+
+void check(std::span<const double> y_true, std::span<const double> y_pred) {
+  if (y_true.size() != y_pred.size() || y_true.empty()) {
+    throw std::invalid_argument("metrics: size mismatch or empty input");
+  }
+}
+
+}  // namespace
+
+double mean_absolute_error(std::span<const double> y_true,
+                           std::span<const double> y_pred) {
+  check(y_true, y_pred);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    sum += std::abs(y_true[i] - y_pred[i]);
+  }
+  return sum / static_cast<double>(y_true.size());
+}
+
+double max_absolute_error(std::span<const double> y_true,
+                          std::span<const double> y_pred) {
+  check(y_true, y_pred);
+  double best = 0.0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    best = std::max(best, std::abs(y_true[i] - y_pred[i]));
+  }
+  return best;
+}
+
+double root_mean_squared_error(std::span<const double> y_true,
+                               std::span<const double> y_pred) {
+  check(y_true, y_pred);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    const double d = y_true[i] - y_pred[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum / static_cast<double>(y_true.size()));
+}
+
+double explained_variance(std::span<const double> y_true,
+                          std::span<const double> y_pred) {
+  check(y_true, y_pred);
+  std::vector<double> residual(y_true.size());
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    residual[i] = y_true[i] - y_pred[i];
+  }
+  const double var_y = linalg::variance(y_true);
+  if (var_y == 0.0) {
+    // Degenerate target: perfect prediction scores 1, anything else 0
+    // (scikit-learn convention).
+    return linalg::variance(residual) == 0.0 ? 1.0 : 0.0;
+  }
+  return 1.0 - linalg::variance(residual) / var_y;
+}
+
+double r2_score(std::span<const double> y_true, std::span<const double> y_pred) {
+  check(y_true, y_pred);
+  const double y_mean = linalg::mean(y_true);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    const double r = y_true[i] - y_pred[i];
+    const double t = y_true[i] - y_mean;
+    ss_res += r * r;
+    ss_tot += t * t;
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+RegressionMetrics& RegressionMetrics::operator+=(
+    const RegressionMetrics& other) noexcept {
+  mae += other.mae;
+  max += other.max;
+  rmse += other.rmse;
+  ev += other.ev;
+  r2 += other.r2;
+  return *this;
+}
+
+RegressionMetrics& RegressionMetrics::operator/=(double divisor) noexcept {
+  mae /= divisor;
+  max /= divisor;
+  rmse /= divisor;
+  ev /= divisor;
+  r2 /= divisor;
+  return *this;
+}
+
+std::string RegressionMetrics::to_string() const {
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer),
+                "MAE=%.3f MAX=%.3f RMSE=%.3f EV=%.3f R2=%.3f", mae, max, rmse, ev,
+                r2);
+  return buffer;
+}
+
+RegressionMetrics compute_metrics(std::span<const double> y_true,
+                                  std::span<const double> y_pred) {
+  RegressionMetrics m;
+  m.mae = mean_absolute_error(y_true, y_pred);
+  m.max = max_absolute_error(y_true, y_pred);
+  m.rmse = root_mean_squared_error(y_true, y_pred);
+  m.ev = explained_variance(y_true, y_pred);
+  m.r2 = r2_score(y_true, y_pred);
+  return m;
+}
+
+}  // namespace ffr::ml

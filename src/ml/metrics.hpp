@@ -1,0 +1,46 @@
+#pragma once
+// The paper's five regression evaluation metrics (§III-C): MAE, MAX, RMSE,
+// Explained Variance and R². Definitions match scikit-learn.
+
+#include <span>
+#include <string>
+
+namespace ffr::ml {
+
+/// Mean absolute error; closer to 0 is better.
+[[nodiscard]] double mean_absolute_error(std::span<const double> y_true,
+                                         std::span<const double> y_pred);
+
+/// Maximum absolute error; closer to 0 is better.
+[[nodiscard]] double max_absolute_error(std::span<const double> y_true,
+                                        std::span<const double> y_pred);
+
+/// Root mean squared error; closer to 0 is better.
+[[nodiscard]] double root_mean_squared_error(std::span<const double> y_true,
+                                             std::span<const double> y_pred);
+
+/// Explained variance: 1 - Var(y - yhat) / Var(y); best value 1.
+[[nodiscard]] double explained_variance(std::span<const double> y_true,
+                                        std::span<const double> y_pred);
+
+/// Coefficient of determination R^2; best value 1.
+[[nodiscard]] double r2_score(std::span<const double> y_true,
+                              std::span<const double> y_pred);
+
+/// All five metrics of Table I.
+struct RegressionMetrics {
+  double mae = 0.0;
+  double max = 0.0;
+  double rmse = 0.0;
+  double ev = 0.0;
+  double r2 = 0.0;
+
+  RegressionMetrics& operator+=(const RegressionMetrics& other) noexcept;
+  RegressionMetrics& operator/=(double divisor) noexcept;
+  [[nodiscard]] std::string to_string() const;
+};
+
+[[nodiscard]] RegressionMetrics compute_metrics(std::span<const double> y_true,
+                                                std::span<const double> y_pred);
+
+}  // namespace ffr::ml

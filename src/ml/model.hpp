@@ -1,0 +1,61 @@
+#pragma once
+// Regressor interface for the from-scratch ML library. Mirrors the slice of
+// scikit-learn the paper uses: fit/predict plus uniform hyperparameter
+// access so random/grid search can drive any model generically.
+
+#include <map>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "linalg/matrix.hpp"
+
+namespace ffr::ml {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+/// Hyperparameters are name -> double; categorical choices are encoded as
+/// small integers (documented per model).
+using ParamMap = std::map<std::string, double, std::less<>>;
+
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  /// Fit on rows of X against targets y. Throws std::invalid_argument on
+  /// shape mismatch or empty data.
+  virtual void fit(const Matrix& x, std::span<const double> y) = 0;
+
+  /// Predict one value per row of X. Requires a prior fit().
+  [[nodiscard]] virtual Vector predict(const Matrix& x) const = 0;
+
+  /// Deep copy (fitted state included).
+  [[nodiscard]] virtual std::unique_ptr<Regressor> clone() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Set hyperparameters; unknown keys throw std::invalid_argument.
+  virtual void set_params(const ParamMap& params) {
+    if (!params.empty()) {
+      throw std::invalid_argument(name() + " has no hyperparameters");
+    }
+  }
+
+  [[nodiscard]] virtual ParamMap get_params() const { return {}; }
+
+  [[nodiscard]] virtual bool is_fitted() const noexcept = 0;
+
+ protected:
+  static void check_fit_args(const Matrix& x, std::span<const double> y) {
+    if (x.rows() == 0 || x.cols() == 0) {
+      throw std::invalid_argument("fit: empty design matrix");
+    }
+    if (x.rows() != y.size()) {
+      throw std::invalid_argument("fit: X/y row mismatch");
+    }
+  }
+};
+
+}  // namespace ffr::ml

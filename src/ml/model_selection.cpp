@@ -1,0 +1,176 @@
+#include "ml/model_selection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace ffr::ml {
+
+Split train_test_split(std::size_t n, double train_fraction, std::uint64_t seed) {
+  if (train_fraction <= 0.0 || train_fraction >= 1.0) {
+    throw std::invalid_argument("train_test_split: fraction in (0, 1)");
+  }
+  util::Rng rng(seed);
+  std::vector<std::size_t> perm = rng.permutation(n);
+  const auto n_train = static_cast<std::size_t>(
+      std::round(train_fraction * static_cast<double>(n)));
+  Split split;
+  split.train.assign(perm.begin(), perm.begin() + static_cast<long>(n_train));
+  split.test.assign(perm.begin() + static_cast<long>(n_train), perm.end());
+  return split;
+}
+
+std::vector<Split> k_fold(std::size_t n, std::size_t folds, std::uint64_t seed) {
+  if (folds < 2 || folds > n) throw std::invalid_argument("k_fold: bad fold count");
+  util::Rng rng(seed);
+  const std::vector<std::size_t> perm = rng.permutation(n);
+  std::vector<Split> splits(folds);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t fold = i % folds;
+    for (std::size_t f = 0; f < folds; ++f) {
+      (f == fold ? splits[f].test : splits[f].train).push_back(perm[i]);
+    }
+  }
+  return splits;
+}
+
+std::vector<Split> stratified_k_fold(std::span<const double> y, std::size_t folds,
+                                     std::uint64_t seed, std::size_t bins) {
+  const std::size_t n = y.size();
+  if (folds < 2 || folds > n) {
+    throw std::invalid_argument("stratified_k_fold: bad fold count");
+  }
+  if (bins == 0) throw std::invalid_argument("stratified_k_fold: bins >= 1");
+  util::Rng rng(seed);
+
+  // Order rows by target, walk that order in quantile blocks and deal each
+  // block's (shuffled) rows round-robin over folds.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return y[a] < y[b]; });
+
+  std::vector<Split> splits(folds);
+  std::size_t dealt = 0;
+  for (std::size_t b = 0; b < bins; ++b) {
+    const std::size_t begin = b * n / bins;
+    const std::size_t end = (b + 1) * n / bins;
+    std::vector<std::size_t> block(order.begin() + static_cast<long>(begin),
+                                   order.begin() + static_cast<long>(end));
+    rng.shuffle(block);
+    for (const std::size_t row : block) {
+      const std::size_t fold = dealt % folds;
+      for (std::size_t f = 0; f < folds; ++f) {
+        (f == fold ? splits[f].test : splits[f].train).push_back(row);
+      }
+      ++dealt;
+    }
+  }
+  return splits;
+}
+
+Matrix take_rows(const Matrix& x, std::span<const std::size_t> idx) {
+  return x.select_rows(idx);
+}
+
+Vector take(std::span<const double> y, std::span<const std::size_t> idx) {
+  Vector out;
+  out.reserve(idx.size());
+  for (const std::size_t i : idx) out.push_back(y[i]);
+  return out;
+}
+
+namespace {
+
+// `fraction` is relative to the FULL dataset size (the paper's "training
+// size": the share of all flip-flops that receive fault injection), capped
+// by what the fold's training side can provide.
+std::vector<std::size_t> subsample(const std::vector<std::size_t>& pool,
+                                   double fraction, std::size_t total,
+                                   util::Rng& rng) {
+  const auto want = std::max<std::size_t>(
+      2, static_cast<std::size_t>(
+             std::round(fraction * static_cast<double>(total))));
+  if (want >= pool.size()) return pool;
+  std::vector<std::size_t> copy = pool;
+  rng.shuffle(copy);
+  copy.resize(want);
+  return copy;
+}
+
+}  // namespace
+
+CrossValidationResult cross_validate(const Regressor& prototype, const Matrix& x,
+                                     std::span<const double> y,
+                                     std::span<const Split> splits,
+                                     double train_fraction, std::uint64_t seed) {
+  if (splits.empty()) throw std::invalid_argument("cross_validate: no splits");
+  util::Rng rng(seed);
+  CrossValidationResult result;
+  std::vector<double> test_r2;
+  for (const Split& split : splits) {
+    const std::vector<std::size_t> train_idx =
+        subsample(split.train, train_fraction, x.rows(), rng);
+    const Matrix x_train = take_rows(x, train_idx);
+    const Vector y_train = take(y, train_idx);
+    const Matrix x_test = take_rows(x, split.test);
+    const Vector y_test = take(y, split.test);
+
+    std::unique_ptr<Regressor> model = prototype.clone();
+    model->fit(x_train, y_train);
+
+    FoldScore score;
+    score.train = compute_metrics(y_train, model->predict(x_train));
+    score.test = compute_metrics(y_test, model->predict(x_test));
+    test_r2.push_back(score.test.r2);
+    result.mean_train += score.train;
+    result.mean_test += score.test;
+    result.folds.push_back(score);
+  }
+  const auto folds = static_cast<double>(result.folds.size());
+  result.mean_train /= folds;
+  result.mean_test /= folds;
+  result.r2_test_stddev = linalg::stddev(test_r2);
+  return result;
+}
+
+std::vector<LearningCurvePoint> learning_curve(const Regressor& prototype,
+                                               const Matrix& x,
+                                               std::span<const double> y,
+                                               std::span<const double> train_fractions,
+                                               std::span<const Split> splits,
+                                               std::uint64_t seed) {
+  std::vector<LearningCurvePoint> curve;
+  curve.reserve(train_fractions.size());
+  for (const double fraction : train_fractions) {
+    util::Rng rng(seed);
+    std::vector<double> train_scores;
+    std::vector<double> test_scores;
+    std::size_t train_samples = 0;
+    for (const Split& split : splits) {
+      const std::vector<std::size_t> train_idx =
+          subsample(split.train, fraction, x.rows(), rng);
+      train_samples = train_idx.size();
+      const Matrix x_train = take_rows(x, train_idx);
+      const Vector y_train = take(y, train_idx);
+      std::unique_ptr<Regressor> model = prototype.clone();
+      model->fit(x_train, y_train);
+      train_scores.push_back(r2_score(y_train, model->predict(x_train)));
+      const Vector y_test = take(y, split.test);
+      test_scores.push_back(
+          r2_score(y_test, model->predict(take_rows(x, split.test))));
+    }
+    LearningCurvePoint point;
+    point.train_fraction = fraction;
+    point.train_samples = train_samples;
+    point.train_r2_mean = linalg::mean(train_scores);
+    point.train_r2_stddev = linalg::stddev(train_scores);
+    point.test_r2_mean = linalg::mean(test_scores);
+    point.test_r2_stddev = linalg::stddev(test_scores);
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+}  // namespace ffr::ml

@@ -1,0 +1,77 @@
+#pragma once
+// Train/test splitting, (stratified) K-fold cross validation, the paper's
+// evaluation protocol (train on a fraction, evaluate on the rest, averaged
+// over folds) and learning curves (Figs. 2b/3b/4b).
+
+#include <cstdint>
+
+#include "ml/metrics.hpp"
+#include "ml/model.hpp"
+#include "util/rng.hpp"
+
+namespace ffr::ml {
+
+struct Split {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+
+/// Random shuffled split with `train_fraction` of the rows in train.
+[[nodiscard]] Split train_test_split(std::size_t n, double train_fraction,
+                                     std::uint64_t seed);
+
+/// Shuffled K-fold: every row appears in exactly one test fold.
+[[nodiscard]] std::vector<Split> k_fold(std::size_t n, std::size_t folds,
+                                        std::uint64_t seed);
+
+/// Stratified K-fold for regression: rows are binned by target quantiles and
+/// each bin is spread round-robin over the folds, so every fold sees the
+/// full FDR range (the paper uses "ten fold stratified cross validation").
+[[nodiscard]] std::vector<Split> stratified_k_fold(std::span<const double> y,
+                                                   std::size_t folds,
+                                                   std::uint64_t seed,
+                                                   std::size_t bins = 10);
+
+/// Rows of X / entries of y selected by index.
+[[nodiscard]] Matrix take_rows(const Matrix& x, std::span<const std::size_t> idx);
+[[nodiscard]] Vector take(std::span<const double> y,
+                          std::span<const std::size_t> idx);
+
+struct FoldScore {
+  RegressionMetrics train;
+  RegressionMetrics test;
+};
+
+struct CrossValidationResult {
+  std::vector<FoldScore> folds;
+  RegressionMetrics mean_train;
+  RegressionMetrics mean_test;
+  double r2_test_stddev = 0.0;
+};
+
+/// The paper's protocol: within each CV fold, train on `train_fraction` of
+/// the fold's training side (the "training size", i.e. the share of flip-
+/// flops that get fault-injected) and evaluate on the fold's test side.
+/// With train_fraction = 1.0 this is plain K-fold CV.
+[[nodiscard]] CrossValidationResult cross_validate(
+    const Regressor& prototype, const Matrix& x, std::span<const double> y,
+    std::span<const Split> splits, double train_fraction = 1.0,
+    std::uint64_t seed = 1);
+
+struct LearningCurvePoint {
+  double train_fraction = 0.0;
+  std::size_t train_samples = 0;
+  double train_r2_mean = 0.0;
+  double train_r2_stddev = 0.0;
+  double test_r2_mean = 0.0;
+  double test_r2_stddev = 0.0;
+};
+
+/// R^2 learning curve over training sizes, evaluated with the given CV
+/// splits (Figs. 2b/3b/4b).
+[[nodiscard]] std::vector<LearningCurvePoint> learning_curve(
+    const Regressor& prototype, const Matrix& x, std::span<const double> y,
+    std::span<const double> train_fractions, std::span<const Split> splits,
+    std::uint64_t seed = 1);
+
+}  // namespace ffr::ml

@@ -1,0 +1,59 @@
+#include "ml/model_zoo.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "ml/knn.hpp"
+#include "ml/linear.hpp"
+#include "ml/pipeline.hpp"
+#include "ml/svr.hpp"
+#include "ml/tree.hpp"
+
+namespace ffr::ml {
+
+std::unique_ptr<Regressor> make_model(std::string_view name) {
+  if (name == "linear") {
+    return std::make_unique<LinearLeastSquares>();
+  }
+  if (name == "ridge") {
+    return make_scaled<RidgeRegression>(1.0);
+  }
+  if (name == "knn_paper") {
+    // Paper §IV-B.2: k = 3, Manhattan distance, inverse-distance weights.
+    return make_scaled<KnnRegressor>(3, 1.0, KnnWeights::kDistance);
+  }
+  if (name == "knn") {
+    return make_scaled<KnnRegressor>();
+  }
+  if (name == "svr_paper") {
+    // Paper §IV-B.3: RBF kernel, C = 3.5, gamma = 0.055, epsilon = 0.025.
+    SvrConfig config;
+    config.c = 3.5;
+    config.gamma = 0.055;
+    config.epsilon = 0.025;
+    config.kernel = SvrKernel::kRbf;
+    return make_scaled<SvrRegressor>(config);
+  }
+  if (name == "svr") {
+    return make_scaled<SvrRegressor>();
+  }
+  if (name == "decision_tree") {
+    return std::make_unique<DecisionTreeRegressor>();
+  }
+  if (name == "random_forest") {
+    return std::make_unique<RandomForestRegressor>();
+  }
+  if (name == "gradient_boosting") {
+    return std::make_unique<GradientBoostingRegressor>();
+  }
+  throw std::invalid_argument("make_model: unknown model '" + std::string(name) +
+                              "'");
+}
+
+std::vector<std::string_view> model_zoo_names() {
+  return {"linear",    "ridge",         "knn_paper",
+          "knn",       "svr_paper",     "svr",
+          "decision_tree", "random_forest", "gradient_boosting"};
+}
+
+}  // namespace ffr::ml

@@ -1,0 +1,25 @@
+#pragma once
+// Named model factory with the paper's tuned configurations, so benches,
+// examples and the estimation flow can request models uniformly.
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "ml/model.hpp"
+
+namespace ffr::ml {
+
+/// Models known to the zoo. "paper" variants use the hyperparameters the
+/// paper reports after its random+grid search (k-NN: k=3, Manhattan,
+/// distance weights; SVR: RBF, C=3.5, gamma=0.055, epsilon=0.025). All
+/// distance/kernel models are wrapped in a standardizing pipeline.
+///
+/// Names: "linear", "ridge", "knn_paper", "knn", "svr_paper", "svr",
+/// "decision_tree", "random_forest", "gradient_boosting".
+[[nodiscard]] std::unique_ptr<Regressor> make_model(std::string_view name);
+
+/// All zoo names (for iteration in benches/tests).
+[[nodiscard]] std::vector<std::string_view> model_zoo_names();
+
+}  // namespace ffr::ml

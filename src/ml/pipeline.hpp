@@ -1,0 +1,58 @@
+#pragma once
+// Scaler + model pipeline, so distance/kernel models always see
+// standardized features (scikit-learn make_pipeline(StandardScaler(), ...)).
+
+#include "ml/model.hpp"
+#include "ml/scaler.hpp"
+
+namespace ffr::ml {
+
+class ScaledPipeline final : public Regressor {
+ public:
+  explicit ScaledPipeline(std::unique_ptr<Regressor> inner)
+      : inner_(std::move(inner)) {
+    if (!inner_) throw std::invalid_argument("pipeline: null model");
+  }
+
+  ScaledPipeline(const ScaledPipeline& other)
+      : scaler_(other.scaler_), inner_(other.inner_->clone()) {}
+  ScaledPipeline& operator=(const ScaledPipeline&) = delete;
+
+  void fit(const Matrix& x, std::span<const double> y) override {
+    scaler_.fit(x);
+    inner_->fit(scaler_.transform(x), y);
+  }
+
+  [[nodiscard]] Vector predict(const Matrix& x) const override {
+    return inner_->predict(scaler_.transform(x));
+  }
+
+  [[nodiscard]] std::unique_ptr<Regressor> clone() const override {
+    return std::make_unique<ScaledPipeline>(*this);
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return "scaled_" + inner_->name();
+  }
+
+  void set_params(const ParamMap& params) override { inner_->set_params(params); }
+  [[nodiscard]] ParamMap get_params() const override { return inner_->get_params(); }
+  [[nodiscard]] bool is_fitted() const noexcept override {
+    return scaler_.is_fitted() && inner_->is_fitted();
+  }
+
+  [[nodiscard]] const Regressor& inner() const noexcept { return *inner_; }
+
+ private:
+  StandardScaler scaler_;
+  std::unique_ptr<Regressor> inner_;
+};
+
+/// Convenience: wrap a model in a standardizing pipeline.
+template <typename Model, typename... Args>
+[[nodiscard]] std::unique_ptr<Regressor> make_scaled(Args&&... args) {
+  return std::make_unique<ScaledPipeline>(
+      std::make_unique<Model>(std::forward<Args>(args)...));
+}
+
+}  // namespace ffr::ml

@@ -1,0 +1,60 @@
+#include "ml/scaler.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ffr::ml {
+
+void StandardScaler::fit(const linalg::Matrix& x) {
+  if (x.rows() == 0) throw std::invalid_argument("StandardScaler::fit: empty");
+  mean_.assign(x.cols(), 0.0);
+  std_.assign(x.cols(), 0.0);
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    const linalg::Vector col = x.col_copy(c);
+    mean_[c] = linalg::mean(col);
+    const double sd = linalg::stddev(col);
+    std_[c] = sd > 0.0 ? sd : 1.0;  // constant column: centre only
+  }
+}
+
+linalg::Matrix StandardScaler::transform(const linalg::Matrix& x) const {
+  if (!is_fitted()) throw std::logic_error("StandardScaler: not fitted");
+  if (x.cols() != mean_.size()) {
+    throw std::invalid_argument("StandardScaler: column count mismatch");
+  }
+  linalg::Matrix out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      out(r, c) = (x(r, c) - mean_[c]) / std_[c];
+    }
+  }
+  return out;
+}
+
+void MinMaxScaler::fit(const linalg::Matrix& x) {
+  if (x.rows() == 0) throw std::invalid_argument("MinMaxScaler::fit: empty");
+  min_.assign(x.cols(), 0.0);
+  range_.assign(x.cols(), 1.0);
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    const linalg::Vector col = x.col_copy(c);
+    min_[c] = linalg::min_value(col);
+    const double range = linalg::max_value(col) - min_[c];
+    range_[c] = range > 0.0 ? range : 1.0;
+  }
+}
+
+linalg::Matrix MinMaxScaler::transform(const linalg::Matrix& x) const {
+  if (!is_fitted()) throw std::logic_error("MinMaxScaler: not fitted");
+  if (x.cols() != min_.size()) {
+    throw std::invalid_argument("MinMaxScaler: column count mismatch");
+  }
+  linalg::Matrix out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      out(r, c) = (x(r, c) - min_[c]) / range_[c];
+    }
+  }
+  return out;
+}
+
+}  // namespace ffr::ml

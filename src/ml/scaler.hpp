@@ -1,0 +1,45 @@
+#pragma once
+// Feature scaling. k-NN and SVR are distance/kernel based, so features with
+// large ranges (state-change counts in the thousands vs. 0-1 activity
+// ratios) must be standardized before training, exactly as a scikit-learn
+// pipeline would.
+
+#include "linalg/matrix.hpp"
+
+namespace ffr::ml {
+
+/// z = (x - mean) / std, per column. Constant columns pass through centred.
+class StandardScaler {
+ public:
+  void fit(const linalg::Matrix& x);
+  [[nodiscard]] linalg::Matrix transform(const linalg::Matrix& x) const;
+  [[nodiscard]] linalg::Matrix fit_transform(const linalg::Matrix& x) {
+    fit(x);
+    return transform(x);
+  }
+  [[nodiscard]] bool is_fitted() const noexcept { return !mean_.empty(); }
+  [[nodiscard]] const linalg::Vector& means() const noexcept { return mean_; }
+  [[nodiscard]] const linalg::Vector& stddevs() const noexcept { return std_; }
+
+ private:
+  linalg::Vector mean_;
+  linalg::Vector std_;
+};
+
+/// x' = (x - min) / (max - min), per column, mapping into [0, 1].
+class MinMaxScaler {
+ public:
+  void fit(const linalg::Matrix& x);
+  [[nodiscard]] linalg::Matrix transform(const linalg::Matrix& x) const;
+  [[nodiscard]] linalg::Matrix fit_transform(const linalg::Matrix& x) {
+    fit(x);
+    return transform(x);
+  }
+  [[nodiscard]] bool is_fitted() const noexcept { return !min_.empty(); }
+
+ private:
+  linalg::Vector min_;
+  linalg::Vector range_;
+};
+
+}  // namespace ffr::ml

@@ -1,0 +1,143 @@
+#include "ml/search.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ffr::ml {
+
+namespace {
+
+double evaluate(const Regressor& prototype, const ParamMap& params, const Matrix& x,
+                std::span<const double> y, std::span<const Split> splits,
+                double train_fraction, std::uint64_t seed) {
+  std::unique_ptr<Regressor> model = prototype.clone();
+  model->set_params(params);
+  const CrossValidationResult cv =
+      cross_validate(*model, x, y, splits, train_fraction, seed);
+  return cv.mean_test.r2;
+}
+
+}  // namespace
+
+SearchResult random_search(const Regressor& prototype, const Matrix& x,
+                           std::span<const double> y,
+                           std::span<const ParamRange> ranges, std::size_t n_iter,
+                           std::span<const Split> splits, double train_fraction,
+                           std::uint64_t seed) {
+  if (ranges.empty() || n_iter == 0) {
+    throw std::invalid_argument("random_search: nothing to search");
+  }
+  util::Rng rng(seed);
+  SearchResult result;
+  result.best.score = -std::numeric_limits<double>::infinity();
+  for (std::size_t iter = 0; iter < n_iter; ++iter) {
+    ParamMap params;
+    for (const ParamRange& range : ranges) {
+      double value = range.log_scale ? rng.log_uniform(range.lo, range.hi)
+                                     : rng.uniform(range.lo, range.hi);
+      if (range.integer) value = std::round(value);
+      params[range.name] = value;
+    }
+    SearchCandidate candidate;
+    candidate.params = params;
+    candidate.score =
+        evaluate(prototype, params, x, y, splits, train_fraction, seed);
+    if (candidate.score > result.best.score) result.best = candidate;
+    result.evaluated.push_back(std::move(candidate));
+  }
+  return result;
+}
+
+SearchResult grid_search(const Regressor& prototype, const Matrix& x,
+                         std::span<const double> y, std::span<const GridAxis> grid,
+                         std::span<const Split> splits, double train_fraction,
+                         std::uint64_t seed) {
+  if (grid.empty()) throw std::invalid_argument("grid_search: empty grid");
+  for (const GridAxis& axis : grid) {
+    if (axis.values.empty()) {
+      throw std::invalid_argument("grid_search: empty axis '" + axis.name + "'");
+    }
+  }
+  SearchResult result;
+  result.best.score = -std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> cursor(grid.size(), 0);
+  for (;;) {
+    ParamMap params;
+    for (std::size_t a = 0; a < grid.size(); ++a) {
+      params[grid[a].name] = grid[a].values[cursor[a]];
+    }
+    SearchCandidate candidate;
+    candidate.params = params;
+    candidate.score =
+        evaluate(prototype, params, x, y, splits, train_fraction, seed);
+    if (candidate.score > result.best.score) result.best = candidate;
+    result.evaluated.push_back(std::move(candidate));
+    // Odometer increment.
+    std::size_t axis = 0;
+    while (axis < grid.size()) {
+      if (++cursor[axis] < grid[axis].values.size()) break;
+      cursor[axis] = 0;
+      ++axis;
+    }
+    if (axis == grid.size()) break;
+  }
+  return result;
+}
+
+SearchResult random_then_grid_search(const Regressor& prototype, const Matrix& x,
+                                     std::span<const double> y,
+                                     std::span<const ParamRange> ranges,
+                                     std::size_t n_random, std::size_t grid_points,
+                                     std::span<const Split> splits,
+                                     double train_fraction, double refine_factor,
+                                     std::uint64_t seed) {
+  SearchResult coarse = random_search(prototype, x, y, ranges, n_random, splits,
+                                      train_fraction, seed);
+  if (grid_points < 2) return coarse;
+
+  // Grid around the best random draw, clamped to the original ranges.
+  std::vector<GridAxis> grid;
+  for (const ParamRange& range : ranges) {
+    const double centre = coarse.best.params.at(range.name);
+    GridAxis axis;
+    axis.name = range.name;
+    if (range.integer) {
+      const auto c = static_cast<long>(centre);
+      const long radius = std::max<long>(1, static_cast<long>(grid_points) / 2);
+      for (long v = c - radius; v <= c + radius; ++v) {
+        const double clamped =
+            std::clamp(static_cast<double>(v), range.lo, range.hi);
+        if (axis.values.empty() || axis.values.back() != clamped) {
+          axis.values.push_back(clamped);
+        }
+      }
+    } else if (range.log_scale) {
+      const double lo = std::max(range.lo, centre / refine_factor);
+      const double hi = std::min(range.hi, centre * refine_factor);
+      for (std::size_t i = 0; i < grid_points; ++i) {
+        const double t = static_cast<double>(i) / static_cast<double>(grid_points - 1);
+        axis.values.push_back(lo * std::pow(hi / lo, t));
+      }
+    } else {
+      const double span = (range.hi - range.lo) / refine_factor / 2.0;
+      const double lo = std::max(range.lo, centre - span);
+      const double hi = std::min(range.hi, centre + span);
+      for (std::size_t i = 0; i < grid_points; ++i) {
+        const double t = static_cast<double>(i) / static_cast<double>(grid_points - 1);
+        axis.values.push_back(lo + t * (hi - lo));
+      }
+    }
+    grid.push_back(std::move(axis));
+  }
+  SearchResult fine =
+      grid_search(prototype, x, y, grid, splits, train_fraction, seed);
+  // Merge: keep the better of the two stages plus the full history.
+  SearchResult result;
+  result.best = fine.best.score >= coarse.best.score ? fine.best : coarse.best;
+  result.evaluated = std::move(coarse.evaluated);
+  result.evaluated.insert(result.evaluated.end(), fine.evaluated.begin(),
+                          fine.evaluated.end());
+  return result;
+}
+
+}  // namespace ffr::ml

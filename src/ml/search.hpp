@@ -1,0 +1,63 @@
+#pragma once
+// Hyperparameter search, following the paper's §III-A recipe: first a random
+// search over given distributions, then a finer grid search around the best
+// random configuration. Scoring = mean test R^2 under cross validation.
+
+#include <functional>
+
+#include "ml/model_selection.hpp"
+
+namespace ffr::ml {
+
+/// A searchable hyperparameter dimension.
+struct ParamRange {
+  std::string name;
+  double lo = 0.0;
+  double hi = 1.0;
+  bool log_scale = false;  // sample log-uniform (C, gamma, ...)
+  bool integer = false;    // round samples to integers (k, depth, ...)
+};
+
+struct SearchCandidate {
+  ParamMap params;
+  double score = 0.0;  // mean test R^2
+};
+
+struct SearchResult {
+  SearchCandidate best;
+  std::vector<SearchCandidate> evaluated;
+};
+
+/// Draw `n_iter` random configurations and cross-validate each.
+[[nodiscard]] SearchResult random_search(const Regressor& prototype,
+                                         const Matrix& x, std::span<const double> y,
+                                         std::span<const ParamRange> ranges,
+                                         std::size_t n_iter,
+                                         std::span<const Split> splits,
+                                         double train_fraction = 1.0,
+                                         std::uint64_t seed = 99);
+
+/// Exhaustive grid over explicit per-parameter value lists.
+struct GridAxis {
+  std::string name;
+  std::vector<double> values;
+};
+
+[[nodiscard]] SearchResult grid_search(const Regressor& prototype, const Matrix& x,
+                                       std::span<const double> y,
+                                       std::span<const GridAxis> grid,
+                                       std::span<const Split> splits,
+                                       double train_fraction = 1.0,
+                                       std::uint64_t seed = 99);
+
+/// The paper's two-stage recipe: random search, then a grid refined around
+/// the best random configuration (each numeric axis re-sampled in a
+/// +/- refine_factor neighbourhood with `grid_points` points).
+[[nodiscard]] SearchResult random_then_grid_search(
+    const Regressor& prototype, const Matrix& x, std::span<const double> y,
+    std::span<const ParamRange> ranges, std::size_t n_random,
+    std::size_t grid_points, std::span<const Split> splits,
+    double train_fraction = 1.0, double refine_factor = 2.0,
+    std::uint64_t seed = 99);
+
+}  // namespace ffr::ml

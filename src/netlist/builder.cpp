@@ -1,0 +1,228 @@
+#include "netlist/builder.hpp"
+
+#include <stdexcept>
+
+namespace ffr::netlist {
+
+std::string NetlistBuilder::fresh_cell_name(std::string_view prefix) {
+  return std::string(prefix) + "_U" + std::to_string(next_cell_++);
+}
+
+std::string NetlistBuilder::fresh_net_name(std::string_view prefix) {
+  return std::string(prefix) + "_n" + std::to_string(next_net_++);
+}
+
+NetId NetlistBuilder::input(std::string name) {
+  return netlist_.add_primary_input(std::move(name));
+}
+
+std::vector<NetId> NetlistBuilder::input_bus(const std::string& name,
+                                             std::size_t width) {
+  std::vector<NetId> nets;
+  nets.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    nets.push_back(input(name + "[" + std::to_string(i) + "]"));
+  }
+  return nets;
+}
+
+void NetlistBuilder::output(NetId net, std::string name) {
+  netlist_.mark_primary_output(net, std::move(name));
+}
+
+void NetlistBuilder::output_bus(std::span<const NetId> nets, const std::string& name) {
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    output(nets[i], name + "[" + std::to_string(i) + "]");
+  }
+}
+
+NetId NetlistBuilder::constant(bool value) {
+  NetId& cached = value ? const1_ : const0_;
+  if (cached == kNoNet) {
+    const NetId out = netlist_.add_net(value ? "const1" : "const0");
+    Cell cell;
+    cell.name = value ? "tie1" : "tie0";
+    cell.func = value ? CellFunc::kConst1 : CellFunc::kConst0;
+    cell.output = out;
+    netlist_.add_cell(std::move(cell));
+    cached = out;
+  }
+  return cached;
+}
+
+NetId NetlistBuilder::gate(CellFunc func, std::vector<NetId> inputs,
+                           std::string name) {
+  if (is_sequential(func)) {
+    throw std::invalid_argument("NetlistBuilder::gate: use dff() for sequential");
+  }
+  if (name.empty()) name = fresh_cell_name(to_string(func));
+  const NetId out = netlist_.add_net(fresh_net_name(name));
+  Cell cell;
+  cell.name = std::move(name);
+  cell.func = func;
+  cell.inputs = std::move(inputs);
+  cell.output = out;
+  netlist_.add_cell(std::move(cell));
+  return out;
+}
+
+namespace {
+
+CellFunc wide(CellFunc two, CellFunc three, CellFunc four, std::size_t n) {
+  switch (n) {
+    case 2: return two;
+    case 3: return three;
+    case 4: return four;
+    default: throw std::logic_error("wide gate arity");
+  }
+}
+
+}  // namespace
+
+NetId NetlistBuilder::and_reduce(std::vector<NetId> nets) {
+  if (nets.empty()) return constant(true);
+  while (nets.size() > 1) {
+    std::vector<NetId> next;
+    std::size_t i = 0;
+    while (i < nets.size()) {
+      const std::size_t take = std::min<std::size_t>(4, nets.size() - i);
+      if (take == 1) {
+        next.push_back(nets[i]);
+        ++i;
+        continue;
+      }
+      std::vector<NetId> group(nets.begin() + static_cast<long>(i),
+                               nets.begin() + static_cast<long>(i + take));
+      next.push_back(gate(
+          wide(CellFunc::kAnd2, CellFunc::kAnd3, CellFunc::kAnd4, take), group));
+      i += take;
+    }
+    nets = std::move(next);
+  }
+  return nets.front();
+}
+
+NetId NetlistBuilder::or_reduce(std::vector<NetId> nets) {
+  if (nets.empty()) return constant(false);
+  while (nets.size() > 1) {
+    std::vector<NetId> next;
+    std::size_t i = 0;
+    while (i < nets.size()) {
+      const std::size_t take = std::min<std::size_t>(4, nets.size() - i);
+      if (take == 1) {
+        next.push_back(nets[i]);
+        ++i;
+        continue;
+      }
+      std::vector<NetId> group(nets.begin() + static_cast<long>(i),
+                               nets.begin() + static_cast<long>(i + take));
+      next.push_back(
+          gate(wide(CellFunc::kOr2, CellFunc::kOr3, CellFunc::kOr4, take), group));
+      i += take;
+    }
+    nets = std::move(next);
+  }
+  return nets.front();
+}
+
+NetId NetlistBuilder::xor_reduce(std::vector<NetId> nets) {
+  if (nets.empty()) return constant(false);
+  while (nets.size() > 1) {
+    std::vector<NetId> next;
+    std::size_t i = 0;
+    while (i + 1 < nets.size()) {
+      next.push_back(xor2(nets[i], nets[i + 1]));
+      i += 2;
+    }
+    if (i < nets.size()) next.push_back(nets[i]);
+    nets = std::move(next);
+  }
+  return nets.front();
+}
+
+FlipFlop NetlistBuilder::dff(NetId d, bool init, std::string name) {
+  if (name.empty()) name = fresh_cell_name("reg");
+  const NetId q = netlist_.add_net(name + "_q");
+  Cell cell;
+  cell.name = std::move(name);
+  cell.func = CellFunc::kDff;
+  cell.inputs = {d};
+  cell.output = q;
+  cell.init_value = init;
+  const CellId id = netlist_.add_cell(std::move(cell));
+  return FlipFlop{id, q};
+}
+
+std::vector<FlipFlop> NetlistBuilder::register_bus(const std::string& name,
+                                                   std::span<const NetId> d,
+                                                   std::uint64_t init) {
+  std::vector<FlipFlop> ffs;
+  ffs.reserve(d.size());
+  RegisterBus bus;
+  bus.name = name;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const bool bit_init = ((init >> (i % 64)) & 1ULL) != 0;
+    FlipFlop ff = dff(d[i], bit_init, name + "[" + std::to_string(i) + "]");
+    bus.flip_flops.push_back(ff.cell);
+    ffs.push_back(ff);
+  }
+  netlist_.add_register_bus(std::move(bus));
+  return ffs;
+}
+
+NetId NetlistBuilder::forward_wire(const std::string& name) {
+  return netlist_.add_net(fresh_net_name(name));
+}
+
+std::vector<NetId> NetlistBuilder::forward_wires(const std::string& name,
+                                                 std::size_t count) {
+  std::vector<NetId> wires;
+  wires.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    wires.push_back(forward_wire(name + "[" + std::to_string(i) + "]"));
+  }
+  return wires;
+}
+
+void NetlistBuilder::bind_forward_wire(NetId wire, NetId source) {
+  Cell cell;
+  cell.name = fresh_cell_name("fwd");
+  cell.func = CellFunc::kBuf;
+  cell.inputs = {source};
+  cell.output = wire;
+  netlist_.add_cell(std::move(cell));
+}
+
+std::vector<NetId> NetlistBuilder::q_nets(std::span<const FlipFlop> ffs) {
+  std::vector<NetId> nets;
+  nets.reserve(ffs.size());
+  for (const FlipFlop& ff : ffs) nets.push_back(ff.q);
+  return nets;
+}
+
+void NetlistBuilder::assign_drive_strengths() {
+  // Reader lists are not maintained incrementally, so count fanout here.
+  std::vector<std::uint32_t> fanout(netlist_.num_nets(), 0);
+  for (const Cell& cell : netlist_.cells()) {
+    for (const NetId in : cell.inputs) ++fanout[in];
+  }
+  for (CellId id = 0; id < netlist_.num_cells(); ++id) {
+    Cell& cell = netlist_.mutable_cell(id);
+    const std::uint32_t out_fanout = fanout[cell.output];
+    if (out_fanout > 8) {
+      cell.drive = DriveStrength::kX4;
+    } else if (out_fanout > 3) {
+      cell.drive = DriveStrength::kX2;
+    } else {
+      cell.drive = DriveStrength::kX1;
+    }
+  }
+}
+
+Netlist NetlistBuilder::build() {
+  assign_drive_strengths();
+  netlist_.finalize();
+  return std::move(netlist_);
+}
+
+}  // namespace ffr::netlist

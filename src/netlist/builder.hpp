@@ -1,0 +1,131 @@
+#pragma once
+// Fluent construction API for gate-level netlists. The RTL lowering library
+// (src/rtl) and circuit generators (src/circuits) are written against this.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace ffr::netlist {
+
+/// Handle to a created flip-flop: the cell (for bus registration and fault
+/// injection targeting) and its Q output net (for wiring).
+struct FlipFlop {
+  CellId cell = kNoCell;
+  NetId q = kNoNet;
+};
+
+class NetlistBuilder {
+ public:
+  explicit NetlistBuilder(std::string top_name) : netlist_(std::move(top_name)) {}
+
+  // ---- ports ---------------------------------------------------------------
+
+  [[nodiscard]] NetId input(std::string name);
+  [[nodiscard]] std::vector<NetId> input_bus(const std::string& name,
+                                             std::size_t width);
+  void output(NetId net, std::string name);
+  void output_bus(std::span<const NetId> nets, const std::string& name);
+
+  // ---- constants (tie cells; each call reuses one driver per polarity) -----
+
+  [[nodiscard]] NetId constant(bool value);
+
+  // ---- combinational gates --------------------------------------------------
+
+  /// Generic gate; `name` may be empty for an auto-generated instance name.
+  [[nodiscard]] NetId gate(CellFunc func, std::vector<NetId> inputs,
+                           std::string name = {});
+
+  [[nodiscard]] NetId buf(NetId a) { return gate(CellFunc::kBuf, {a}); }
+  [[nodiscard]] NetId inv(NetId a) { return gate(CellFunc::kInv, {a}); }
+  [[nodiscard]] NetId and2(NetId a, NetId b) { return gate(CellFunc::kAnd2, {a, b}); }
+  [[nodiscard]] NetId or2(NetId a, NetId b) { return gate(CellFunc::kOr2, {a, b}); }
+  [[nodiscard]] NetId nand2(NetId a, NetId b) {
+    return gate(CellFunc::kNand2, {a, b});
+  }
+  [[nodiscard]] NetId nor2(NetId a, NetId b) { return gate(CellFunc::kNor2, {a, b}); }
+  [[nodiscard]] NetId xor2(NetId a, NetId b) { return gate(CellFunc::kXor2, {a, b}); }
+  [[nodiscard]] NetId xnor2(NetId a, NetId b) {
+    return gate(CellFunc::kXnor2, {a, b});
+  }
+  /// out = sel ? b : a
+  [[nodiscard]] NetId mux2(NetId a, NetId b, NetId sel) {
+    return gate(CellFunc::kMux2, {a, b, sel});
+  }
+
+  /// Balanced reduction trees built from 2/3/4-input gates.
+  [[nodiscard]] NetId and_reduce(std::vector<NetId> nets);
+  [[nodiscard]] NetId or_reduce(std::vector<NetId> nets);
+  [[nodiscard]] NetId xor_reduce(std::vector<NetId> nets);
+
+  // ---- sequential ------------------------------------------------------------
+
+  /// Single flip-flop. `name` may be empty for auto-naming.
+  [[nodiscard]] FlipFlop dff(NetId d, bool init = false, std::string name = {});
+
+  /// A register bus of `width` flip-flops named "<name>[i]", registered in the
+  /// netlist's bus table. d[i] feeds bit i.
+  [[nodiscard]] std::vector<FlipFlop> register_bus(const std::string& name,
+                                                   std::span<const NetId> d,
+                                                   std::uint64_t init = 0);
+
+  /// Q nets of a flip-flop vector.
+  [[nodiscard]] static std::vector<NetId> q_nets(std::span<const FlipFlop> ffs);
+
+  /// Register a bus over already-created flip-flops (sequential helpers that
+  /// create FFs bit-by-bit use this).
+  void add_register_bus(RegisterBus bus) {
+    netlist_.add_register_bus(std::move(bus));
+  }
+
+  // ---- forward wires (for feedback loops through registers) -----------------
+
+  /// Allocates a net with no driver yet; must be bound exactly once with
+  /// bind_forward_wire() before build().
+  [[nodiscard]] NetId forward_wire(const std::string& name);
+  [[nodiscard]] std::vector<NetId> forward_wires(const std::string& name,
+                                                 std::size_t count);
+
+  /// Drives a forward wire from `source` (inserts a BUF cell).
+  void bind_forward_wire(NetId wire, NetId source);
+
+  /// Flip-flop whose D input is computed from its own Q output:
+  /// q <= make_d(q). Used for enable-muxed registers, counters, FSM state.
+  template <typename MakeD>
+  [[nodiscard]] FlipFlop dff_loop(MakeD&& make_d, bool init = false,
+                                  std::string name = {}) {
+    if (name.empty()) name = fresh_cell_name("reg");
+    const NetId d_wire = forward_wire(name + "_din");
+    FlipFlop ff = dff(d_wire, init, name);
+    bind_forward_wire(d_wire, make_d(ff.q));
+    return ff;
+  }
+
+  // ---- finalization -----------------------------------------------------------
+
+  /// Mimics a synthesis drive-strength pass: cells with large fanout are
+  /// upsized (fanout > 8 -> X4, > 3 -> X2, else X1).
+  void assign_drive_strengths();
+
+  /// Runs assign_drive_strengths(), finalizes invariants and returns the
+  /// completed netlist. The builder is left empty.
+  [[nodiscard]] Netlist build();
+
+  /// Access during construction (e.g. for stats).
+  [[nodiscard]] const Netlist& peek() const noexcept { return netlist_; }
+
+ private:
+  [[nodiscard]] std::string fresh_cell_name(std::string_view prefix);
+  [[nodiscard]] std::string fresh_net_name(std::string_view prefix);
+
+  Netlist netlist_;
+  NetId const0_ = kNoNet;
+  NetId const1_ = kNoNet;
+  std::uint64_t next_cell_ = 0;
+  std::uint64_t next_net_ = 0;
+};
+
+}  // namespace ffr::netlist

@@ -1,0 +1,182 @@
+#include "netlist/cell_library.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ffr::netlist {
+
+std::string_view to_string(CellFunc func) noexcept {
+  switch (func) {
+    case CellFunc::kConst0: return "CONST0";
+    case CellFunc::kConst1: return "CONST1";
+    case CellFunc::kBuf: return "BUF";
+    case CellFunc::kInv: return "INV";
+    case CellFunc::kAnd2: return "AND2";
+    case CellFunc::kAnd3: return "AND3";
+    case CellFunc::kAnd4: return "AND4";
+    case CellFunc::kNand2: return "NAND2";
+    case CellFunc::kNand3: return "NAND3";
+    case CellFunc::kNand4: return "NAND4";
+    case CellFunc::kOr2: return "OR2";
+    case CellFunc::kOr3: return "OR3";
+    case CellFunc::kOr4: return "OR4";
+    case CellFunc::kNor2: return "NOR2";
+    case CellFunc::kNor3: return "NOR3";
+    case CellFunc::kNor4: return "NOR4";
+    case CellFunc::kXor2: return "XOR2";
+    case CellFunc::kXnor2: return "XNOR2";
+    case CellFunc::kMux2: return "MUX2";
+    case CellFunc::kAoi21: return "AOI21";
+    case CellFunc::kOai21: return "OAI21";
+    case CellFunc::kDff: return "DFF";
+  }
+  return "UNKNOWN";
+}
+
+std::string_view to_string(DriveStrength drive) noexcept {
+  switch (drive) {
+    case DriveStrength::kX1: return "X1";
+    case DriveStrength::kX2: return "X2";
+    case DriveStrength::kX4: return "X4";
+  }
+  return "X?";
+}
+
+std::size_t num_inputs(CellFunc func) noexcept {
+  switch (func) {
+    case CellFunc::kConst0:
+    case CellFunc::kConst1: return 0;
+    case CellFunc::kBuf:
+    case CellFunc::kInv:
+    case CellFunc::kDff: return 1;
+    case CellFunc::kAnd2:
+    case CellFunc::kNand2:
+    case CellFunc::kOr2:
+    case CellFunc::kNor2:
+    case CellFunc::kXor2:
+    case CellFunc::kXnor2: return 2;
+    case CellFunc::kAnd3:
+    case CellFunc::kNand3:
+    case CellFunc::kOr3:
+    case CellFunc::kNor3:
+    case CellFunc::kMux2:
+    case CellFunc::kAoi21:
+    case CellFunc::kOai21: return 3;
+    case CellFunc::kAnd4:
+    case CellFunc::kNand4:
+    case CellFunc::kOr4:
+    case CellFunc::kNor4: return 4;
+  }
+  return 0;
+}
+
+bool evaluate(CellFunc func, std::span<const bool> in) {
+  assert(in.size() == num_inputs(func));
+  switch (func) {
+    case CellFunc::kConst0: return false;
+    case CellFunc::kConst1: return true;
+    case CellFunc::kBuf: return in[0];
+    case CellFunc::kInv: return !in[0];
+    case CellFunc::kAnd2: return in[0] && in[1];
+    case CellFunc::kAnd3: return in[0] && in[1] && in[2];
+    case CellFunc::kAnd4: return in[0] && in[1] && in[2] && in[3];
+    case CellFunc::kNand2: return !(in[0] && in[1]);
+    case CellFunc::kNand3: return !(in[0] && in[1] && in[2]);
+    case CellFunc::kNand4: return !(in[0] && in[1] && in[2] && in[3]);
+    case CellFunc::kOr2: return in[0] || in[1];
+    case CellFunc::kOr3: return in[0] || in[1] || in[2];
+    case CellFunc::kOr4: return in[0] || in[1] || in[2] || in[3];
+    case CellFunc::kNor2: return !(in[0] || in[1]);
+    case CellFunc::kNor3: return !(in[0] || in[1] || in[2]);
+    case CellFunc::kNor4: return !(in[0] || in[1] || in[2] || in[3]);
+    case CellFunc::kXor2: return in[0] != in[1];
+    case CellFunc::kXnor2: return in[0] == in[1];
+    case CellFunc::kMux2: return in[2] ? in[1] : in[0];
+    case CellFunc::kAoi21: return !((in[0] && in[1]) || in[2]);
+    case CellFunc::kOai21: return !((in[0] || in[1]) && in[2]);
+    case CellFunc::kDff:
+      throw std::logic_error("evaluate() called on sequential cell");
+  }
+  throw std::logic_error("evaluate(): unknown cell function");
+}
+
+namespace {
+
+// Representative X1 areas (um^2) in the spirit of NanGate45; scaled by drive.
+double base_area(CellFunc func) {
+  switch (func) {
+    case CellFunc::kConst0:
+    case CellFunc::kConst1: return 0.532;
+    case CellFunc::kBuf: return 0.798;
+    case CellFunc::kInv: return 0.532;
+    case CellFunc::kAnd2:
+    case CellFunc::kOr2: return 1.064;
+    case CellFunc::kNand2:
+    case CellFunc::kNor2: return 0.798;
+    case CellFunc::kAnd3:
+    case CellFunc::kOr3: return 1.330;
+    case CellFunc::kNand3:
+    case CellFunc::kNor3: return 1.064;
+    case CellFunc::kAnd4:
+    case CellFunc::kOr4: return 1.596;
+    case CellFunc::kNand4:
+    case CellFunc::kNor4: return 1.330;
+    case CellFunc::kXor2:
+    case CellFunc::kXnor2: return 1.596;
+    case CellFunc::kMux2: return 1.862;
+    case CellFunc::kAoi21:
+    case CellFunc::kOai21: return 1.064;
+    case CellFunc::kDff: return 4.522;
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+CellLibrary::CellLibrary() {
+  constexpr CellFunc kFuncs[] = {
+      CellFunc::kConst0, CellFunc::kConst1, CellFunc::kBuf,   CellFunc::kInv,
+      CellFunc::kAnd2,   CellFunc::kAnd3,   CellFunc::kAnd4,  CellFunc::kNand2,
+      CellFunc::kNand3,  CellFunc::kNand4,  CellFunc::kOr2,   CellFunc::kOr3,
+      CellFunc::kOr4,    CellFunc::kNor2,   CellFunc::kNor3,  CellFunc::kNor4,
+      CellFunc::kXor2,   CellFunc::kXnor2,  CellFunc::kMux2,  CellFunc::kAoi21,
+      CellFunc::kOai21,  CellFunc::kDff,
+  };
+  constexpr DriveStrength kDrives[] = {DriveStrength::kX1, DriveStrength::kX2,
+                                       DriveStrength::kX4};
+  for (const CellFunc func : kFuncs) {
+    for (const DriveStrength drive : kDrives) {
+      // Constants exist only in one variant (tie cells).
+      if (is_constant(func) && drive != DriveStrength::kX1) continue;
+      LibraryCell cell;
+      cell.func = func;
+      cell.drive = drive;
+      cell.name = std::string(to_string(func)) + "_" + std::string(to_string(drive));
+      cell.area_um2 =
+          base_area(func) * (1.0 + 0.35 * (static_cast<int>(drive) - 1));
+      cells_.push_back(std::move(cell));
+    }
+  }
+}
+
+const LibraryCell& CellLibrary::lookup(CellFunc func, DriveStrength drive) const {
+  if (is_constant(func)) drive = DriveStrength::kX1;
+  for (const auto& cell : cells_) {
+    if (cell.func == func && cell.drive == drive) return cell;
+  }
+  throw std::out_of_range("CellLibrary::lookup: no such cell");
+}
+
+const LibraryCell* CellLibrary::find_by_name(std::string_view name) const noexcept {
+  for (const auto& cell : cells_) {
+    if (cell.name == name) return &cell;
+  }
+  return nullptr;
+}
+
+const CellLibrary& default_library() {
+  static const CellLibrary library;
+  return library;
+}
+
+}  // namespace ffr::netlist

@@ -1,0 +1,90 @@
+#pragma once
+// Standard-cell library modelled on the NanGate FreePDK45 Open Cell Library
+// (the library the paper synthesizes the 10GE MAC against). Only the
+// properties the methodology consumes are modelled: the boolean function,
+// pin count, drive strength and a representative area.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ffr::netlist {
+
+/// Boolean function of a cell. Combinational functions evaluate via
+/// `evaluate()`; DFF is the single sequential primitive (single global
+/// clock, cycle-based semantics).
+enum class CellFunc : std::uint8_t {
+  kConst0,
+  kConst1,
+  kBuf,
+  kInv,
+  kAnd2,
+  kAnd3,
+  kAnd4,
+  kNand2,
+  kNand3,
+  kNand4,
+  kOr2,
+  kOr3,
+  kOr4,
+  kNor2,
+  kNor3,
+  kNor4,
+  kXor2,
+  kXnor2,
+  kMux2,   // inputs {A, B, S}: out = S ? B : A
+  kAoi21,  // inputs {A1, A2, B}: out = !((A1 & A2) | B)
+  kOai21,  // inputs {A1, A2, B}: out = !((A1 | A2) & B)
+  kDff,    // input {D}: Q <= D at clock edge
+};
+
+/// Synthesis-assigned drive strength (NanGate45 offers X1/X2/X4 variants of
+/// most cells; the paper extracts this attribute from Design Compiler).
+enum class DriveStrength : std::uint8_t { kX1 = 1, kX2 = 2, kX4 = 4 };
+
+[[nodiscard]] std::string_view to_string(CellFunc func) noexcept;
+[[nodiscard]] std::string_view to_string(DriveStrength drive) noexcept;
+
+/// Number of input pins of a cell function.
+[[nodiscard]] std::size_t num_inputs(CellFunc func) noexcept;
+
+[[nodiscard]] constexpr bool is_sequential(CellFunc func) noexcept {
+  return func == CellFunc::kDff;
+}
+
+[[nodiscard]] constexpr bool is_constant(CellFunc func) noexcept {
+  return func == CellFunc::kConst0 || func == CellFunc::kConst1;
+}
+
+/// Evaluate a combinational function over its input values.
+/// Precondition: inputs.size() == num_inputs(func) and func is combinational.
+[[nodiscard]] bool evaluate(CellFunc func, std::span<const bool> inputs);
+
+/// One selectable cell of the library (function + drive variant).
+struct LibraryCell {
+  CellFunc func;
+  DriveStrength drive;
+  std::string name;    // e.g. "NAND2_X1", NanGate45 style
+  double area_um2;     // representative area, used for reporting only
+};
+
+/// The library: NanGate45-style combinational cells in X1/X2/X4 plus DFF.
+class CellLibrary {
+ public:
+  /// Builds the default NanGate45-like library.
+  CellLibrary();
+
+  [[nodiscard]] const LibraryCell& lookup(CellFunc func, DriveStrength drive) const;
+  [[nodiscard]] const LibraryCell* find_by_name(std::string_view name) const noexcept;
+  [[nodiscard]] std::span<const LibraryCell> cells() const noexcept { return cells_; }
+
+ private:
+  std::vector<LibraryCell> cells_;
+};
+
+/// Process-wide default library instance.
+[[nodiscard]] const CellLibrary& default_library();
+
+}  // namespace ffr::netlist

@@ -1,0 +1,196 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace ffr::netlist {
+
+NetId Netlist::add_net(std::string name) {
+  const NetId id = static_cast<NetId>(nets_.size());
+  Net net;
+  net.name = std::move(name);
+  auto [it, inserted] = net_by_name_.emplace(net.name, id);
+  if (!inserted) {
+    throw std::runtime_error("Netlist: duplicate net name '" + net.name + "'");
+  }
+  nets_.push_back(std::move(net));
+  finalized_ = false;
+  return id;
+}
+
+CellId Netlist::add_cell(Cell cell) {
+  if (cell.inputs.size() != num_inputs(cell.func)) {
+    throw std::runtime_error("Netlist: cell '" + cell.name + "' has " +
+                             std::to_string(cell.inputs.size()) + " inputs, " +
+                             std::string(to_string(cell.func)) + " needs " +
+                             std::to_string(num_inputs(cell.func)));
+  }
+  if (cell.output == kNoNet || cell.output >= nets_.size()) {
+    throw std::runtime_error("Netlist: cell '" + cell.name + "' has no output net");
+  }
+  for (const NetId in : cell.inputs) {
+    if (in >= nets_.size()) {
+      throw std::runtime_error("Netlist: cell '" + cell.name +
+                               "' references missing input net");
+    }
+  }
+  const CellId id = static_cast<CellId>(cells_.size());
+  Net& out = nets_[cell.output];
+  if (out.driver != kNoCell || out.pi_index >= 0) {
+    throw std::runtime_error("Netlist: net '" + out.name + "' has multiple drivers");
+  }
+  out.driver = id;
+  auto [it, inserted] = cell_by_name_.emplace(cell.name, id);
+  if (!inserted) {
+    throw std::runtime_error("Netlist: duplicate cell name '" + cell.name + "'");
+  }
+  cells_.push_back(std::move(cell));
+  finalized_ = false;
+  return id;
+}
+
+NetId Netlist::add_primary_input(std::string name) {
+  const NetId id = add_net(std::move(name));
+  nets_[id].pi_index = static_cast<std::int32_t>(primary_inputs_.size());
+  primary_inputs_.push_back(id);
+  return id;
+}
+
+void Netlist::mark_primary_output(NetId net, std::string port_name) {
+  if (net >= nets_.size()) throw std::runtime_error("mark_primary_output: bad net");
+  primary_outputs_.push_back(net);
+  primary_output_names_.push_back(std::move(port_name));
+  finalized_ = false;
+}
+
+void Netlist::add_register_bus(RegisterBus bus) {
+  for (const CellId ff : bus.flip_flops) {
+    if (ff >= cells_.size() || !is_sequential(cells_[ff].func)) {
+      throw std::runtime_error("add_register_bus: '" + bus.name +
+                               "' references a non-flip-flop cell");
+    }
+  }
+  buses_.push_back(std::move(bus));
+  finalized_ = false;
+}
+
+void Netlist::finalize() {
+  // Rebuild reader lists.
+  for (Net& net : nets_) net.readers.clear();
+  for (CellId id = 0; id < cells_.size(); ++id) {
+    for (const NetId in : cells_[id].inputs) nets_[in].readers.push_back(id);
+  }
+  // Flip-flop index.
+  flip_flops_.clear();
+  for (CellId id = 0; id < cells_.size(); ++id) {
+    if (is_sequential(cells_[id].func)) flip_flops_.push_back(id);
+  }
+  // Bus membership map.
+  ff_bus_.clear();
+  for (std::size_t b = 0; b < buses_.size(); ++b) {
+    for (std::size_t pos = 0; pos < buses_[b].flip_flops.size(); ++pos) {
+      ff_bus_[buses_[b].flip_flops[pos]] = {b, pos};
+    }
+  }
+  check_invariants();
+  compute_topo_order();
+  finalized_ = true;
+}
+
+void Netlist::check_invariants() const {
+  for (NetId id = 0; id < nets_.size(); ++id) {
+    const Net& net = nets_[id];
+    if (net.driver == kNoCell && net.pi_index < 0) {
+      throw std::runtime_error("Netlist: net '" + net.name + "' is undriven");
+    }
+  }
+}
+
+void Netlist::compute_topo_order() {
+  // Kahn's algorithm over combinational cells only. DFF outputs and primary
+  // inputs are sources; a DFF's D input is a sink (no edge out of the DFF
+  // through the clock boundary), so sequential loops are legal.
+  topo_order_.clear();
+  std::vector<std::uint32_t> pending(cells_.size(), 0);
+  std::vector<CellId> ready;
+  for (CellId id = 0; id < cells_.size(); ++id) {
+    const Cell& cell = cells_[id];
+    if (is_sequential(cell.func)) continue;
+    std::uint32_t comb_inputs = 0;
+    for (const NetId in : cell.inputs) {
+      const Net& net = nets_[in];
+      if (net.driver != kNoCell && !is_sequential(cells_[net.driver].func)) {
+        ++comb_inputs;
+      }
+    }
+    pending[id] = comb_inputs;
+    if (comb_inputs == 0) ready.push_back(id);
+  }
+  std::size_t num_comb = 0;
+  for (const Cell& cell : cells_) {
+    if (!is_sequential(cell.func)) ++num_comb;
+  }
+  topo_order_.reserve(num_comb);
+  while (!ready.empty()) {
+    const CellId id = ready.back();
+    ready.pop_back();
+    topo_order_.push_back(id);
+    for (const CellId reader : nets_[cells_[id].output].readers) {
+      if (is_sequential(cells_[reader].func)) continue;
+      if (--pending[reader] == 0) ready.push_back(reader);
+    }
+  }
+  if (topo_order_.size() != num_comb) {
+    throw std::runtime_error(
+        "Netlist: combinational cycle detected (" + std::to_string(num_comb) +
+        " combinational cells, only " + std::to_string(topo_order_.size()) +
+        " orderable)");
+  }
+}
+
+std::optional<std::pair<std::size_t, std::size_t>> Netlist::bus_of(CellId ff) const {
+  const auto it = ff_bus_.find(ff);
+  if (it == ff_bus_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<CellId> Netlist::find_cell(std::string_view name) const {
+  const auto it = cell_by_name_.find(std::string(name));
+  if (it == cell_by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<NetId> Netlist::find_net(std::string_view name) const {
+  const auto it = net_by_name_.find(std::string(name));
+  if (it == net_by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+double Netlist::total_area_um2() const {
+  const CellLibrary& lib = default_library();
+  double area = 0.0;
+  for (const Cell& cell : cells_) area += lib.lookup(cell.func, cell.drive).area_um2;
+  return area;
+}
+
+std::string Netlist::summary() const {
+  std::size_t num_comb = 0;
+  std::size_t num_const = 0;
+  for (const Cell& cell : cells_) {
+    if (is_sequential(cell.func)) continue;
+    if (is_constant(cell.func)) {
+      ++num_const;
+    } else {
+      ++num_comb;
+    }
+  }
+  std::ostringstream out;
+  out << name_ << ": " << cells_.size() << " cells (" << flip_flops_.size()
+      << " FFs, " << num_comb << " comb, " << num_const << " const), "
+      << nets_.size() << " nets, " << primary_inputs_.size() << " PIs, "
+      << primary_outputs_.size() << " POs, " << buses_.size() << " buses";
+  return out.str();
+}
+
+}  // namespace ffr::netlist

@@ -1,0 +1,19 @@
+#pragma once
+// Structural Verilog export of a netlist (NanGate45-style instance names).
+// Useful for inspecting generated designs with external tools and for
+// documenting exactly what circuit a campaign ran against.
+
+#include <filesystem>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace ffr::netlist {
+
+/// Render the netlist as a structural Verilog module.
+[[nodiscard]] std::string to_verilog(const Netlist& netlist);
+
+/// Write to a file; throws std::runtime_error on I/O failure.
+void write_verilog_file(const std::filesystem::path& path, const Netlist& netlist);
+
+}  // namespace ffr::netlist

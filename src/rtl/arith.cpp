@@ -1,0 +1,102 @@
+#include "rtl/arith.hpp"
+
+#include <stdexcept>
+
+namespace ffr::rtl {
+
+AdderResult adder(NetlistBuilder& bld, std::span<const NetId> a,
+                  std::span<const NetId> b, NetId cin) {
+  if (a.size() != b.size()) throw std::invalid_argument("adder: width mismatch");
+  AdderResult result;
+  result.sum.reserve(a.size());
+  NetId carry = cin;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const NetId axb = bld.xor2(a[i], b[i]);
+    result.sum.push_back(bld.xor2(axb, carry));
+    // carry = (a & b) | (carry & (a ^ b))
+    carry = bld.or2(bld.and2(a[i], b[i]), bld.and2(carry, axb));
+  }
+  result.carry_out = carry;
+  return result;
+}
+
+AdderResult incrementer(NetlistBuilder& bld, std::span<const NetId> a) {
+  AdderResult result;
+  result.sum.reserve(a.size());
+  NetId carry = bld.constant(true);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    result.sum.push_back(bld.xor2(a[i], carry));
+    carry = bld.and2(a[i], carry);
+  }
+  result.carry_out = carry;
+  return result;
+}
+
+AdderResult subtractor(NetlistBuilder& bld, std::span<const NetId> a,
+                       std::span<const NetId> b) {
+  const Word not_b = word_not(bld, b);
+  AdderResult diff = adder(bld, a, not_b, bld.constant(true));
+  // carry_out == 1 means no borrow; expose borrow = !carry.
+  diff.carry_out = bld.inv(diff.carry_out);
+  return diff;
+}
+
+NetId equals(NetlistBuilder& bld, std::span<const NetId> a,
+             std::span<const NetId> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("equals: width mismatch");
+  std::vector<NetId> bits;
+  bits.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) bits.push_back(bld.xnor2(a[i], b[i]));
+  return bld.and_reduce(std::move(bits));
+}
+
+NetId equals_const(NetlistBuilder& bld, std::span<const NetId> a,
+                   std::uint64_t value) {
+  std::vector<NetId> bits;
+  bits.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const bool bit = i < 64 && ((value >> i) & 1ULL) != 0;
+    bits.push_back(bit ? a[i] : bld.inv(a[i]));
+  }
+  return bld.and_reduce(std::move(bits));
+}
+
+NetId less_than(NetlistBuilder& bld, std::span<const NetId> a,
+                std::span<const NetId> b) {
+  return subtractor(bld, a, b).carry_out;  // borrow set iff a < b
+}
+
+Word decoder(NetlistBuilder& bld, std::span<const NetId> a) {
+  if (a.size() > 16) throw std::invalid_argument("decoder: too wide");
+  const std::size_t entries = std::size_t{1} << a.size();
+  Word out;
+  out.reserve(entries);
+  for (std::size_t value = 0; value < entries; ++value) {
+    out.push_back(equals_const(bld, a, value));
+  }
+  return out;
+}
+
+Word onehot_mux(NetlistBuilder& bld, std::span<const Word> words,
+                std::span<const NetId> select) {
+  if (words.empty() || words.size() != select.size()) {
+    throw std::invalid_argument("onehot_mux: arity mismatch");
+  }
+  const std::size_t width = words.front().size();
+  Word out;
+  out.reserve(width);
+  for (std::size_t bit = 0; bit < width; ++bit) {
+    std::vector<NetId> terms;
+    terms.reserve(words.size());
+    for (std::size_t w = 0; w < words.size(); ++w) {
+      if (words[w].size() != width) {
+        throw std::invalid_argument("onehot_mux: ragged words");
+      }
+      terms.push_back(bld.and2(words[w][bit], select[w]));
+    }
+    out.push_back(bld.or_reduce(std::move(terms)));
+  }
+  return out;
+}
+
+}  // namespace ffr::rtl

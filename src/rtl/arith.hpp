@@ -1,0 +1,46 @@
+#pragma once
+// Arithmetic and comparison blocks lowered to gates: ripple-carry adder,
+// incrementer, equality/magnitude comparators and binary decoders.
+
+#include "rtl/word.hpp"
+
+namespace ffr::rtl {
+
+struct AdderResult {
+  Word sum;
+  NetId carry_out;
+};
+
+/// Ripple-carry adder: sum = a + b + cin.
+[[nodiscard]] AdderResult adder(NetlistBuilder& bld, std::span<const NetId> a,
+                                std::span<const NetId> b, NetId cin);
+
+/// a + 1 (wrapping), optimized half-adder chain.
+[[nodiscard]] AdderResult incrementer(NetlistBuilder& bld, std::span<const NetId> a);
+
+/// a - b via two's complement; `borrow_out` is 1 when a < b (unsigned).
+[[nodiscard]] AdderResult subtractor(NetlistBuilder& bld, std::span<const NetId> a,
+                                     std::span<const NetId> b);
+
+/// Single-net equality: 1 iff a == b.
+[[nodiscard]] NetId equals(NetlistBuilder& bld, std::span<const NetId> a,
+                           std::span<const NetId> b);
+
+/// 1 iff a == constant value.
+[[nodiscard]] NetId equals_const(NetlistBuilder& bld, std::span<const NetId> a,
+                                 std::uint64_t value);
+
+/// 1 iff a < b (unsigned).
+[[nodiscard]] NetId less_than(NetlistBuilder& bld, std::span<const NetId> a,
+                              std::span<const NetId> b);
+
+/// Binary decoder: output[i] = (a == i), for i in [0, 2^width).
+[[nodiscard]] Word decoder(NetlistBuilder& bld, std::span<const NetId> a);
+
+/// One-hot multiplexer: out = OR_i (words[i] AND select[i]).
+/// Exactly one select line is expected to be high.
+[[nodiscard]] Word onehot_mux(NetlistBuilder& bld,
+                              std::span<const Word> words,
+                              std::span<const NetId> select);
+
+}  // namespace ffr::rtl

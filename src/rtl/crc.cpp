@@ -1,0 +1,38 @@
+#include "rtl/crc.hpp"
+
+#include <stdexcept>
+
+namespace ffr::rtl {
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept {
+  std::uint32_t state = kCrc32Init;
+  for (const std::uint8_t byte : data) state = crc32_update(state, byte);
+  return state ^ kCrc32FinalXor;
+}
+
+Word crc32_byte_next(NetlistBuilder& bld, std::span<const NetId> crc_state,
+                     std::span<const NetId> data_byte) {
+  if (crc_state.size() != 32 || data_byte.size() != 8) {
+    throw std::invalid_argument("crc32_byte_next: need 32-bit state, 8-bit data");
+  }
+  Word state(crc_state.begin(), crc_state.end());
+  // Eight unrolled single-bit steps of the reflected LFSR. Per step:
+  //   feedback = state[0] ^ data_bit
+  //   state'   = (state >> 1) ^ (feedback ? 0xEDB88320 : 0)
+  for (std::size_t bit = 0; bit < 8; ++bit) {
+    const NetId feedback = bld.xor2(state[0], data_byte[bit]);
+    Word next(32, netlist::kNoNet);
+    for (std::size_t i = 0; i < 32; ++i) {
+      const NetId shifted = (i + 1 < 32) ? state[i + 1] : bld.constant(false);
+      if ((kCrc32PolyReflected >> i) & 1u) {
+        next[i] = bld.xor2(shifted, feedback);
+      } else {
+        next[i] = shifted;
+      }
+    }
+    state = std::move(next);
+  }
+  return state;
+}
+
+}  // namespace ffr::rtl

@@ -1,0 +1,39 @@
+#pragma once
+// CRC-32 (IEEE 802.3 / Ethernet FCS) in two forms:
+//  - a software reference used by testbenches to build golden frames, and
+//  - combinational gate logic computing the next CRC state for one data
+//    byte, used by the MAC circuit's datapath (unrolled 8-bit LFSR step of
+//    the reflected polynomial 0xEDB88320).
+
+#include <cstdint>
+#include <span>
+
+#include "rtl/word.hpp"
+
+namespace ffr::rtl {
+
+inline constexpr std::uint32_t kCrc32PolyReflected = 0xEDB88320u;
+inline constexpr std::uint32_t kCrc32Init = 0xFFFFFFFFu;
+inline constexpr std::uint32_t kCrc32FinalXor = 0xFFFFFFFFu;
+
+/// One-byte update of the reflected CRC-32 state (no init/final xor applied).
+[[nodiscard]] constexpr std::uint32_t crc32_update(std::uint32_t state,
+                                                   std::uint8_t byte) noexcept {
+  state ^= byte;
+  for (int i = 0; i < 8; ++i) {
+    state = (state >> 1) ^ ((state & 1u) ? kCrc32PolyReflected : 0u);
+  }
+  return state;
+}
+
+/// Full-message CRC-32 as transmitted in an Ethernet FCS field.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept;
+
+/// Gate-level combinational next-state for one byte: given the 32-bit CRC
+/// register value and an 8-bit data byte (both LSB-first words), returns the
+/// 32 next-state nets. The caller registers the result.
+[[nodiscard]] Word crc32_byte_next(NetlistBuilder& bld,
+                                   std::span<const NetId> crc_state,
+                                   std::span<const NetId> data_byte);
+
+}  // namespace ffr::rtl

@@ -1,0 +1,93 @@
+#include "rtl/fifo.hpp"
+
+#include <stdexcept>
+
+#include "rtl/arith.hpp"
+
+namespace ffr::rtl {
+
+Fifo make_fifo(NetlistBuilder& bld, const std::string& name,
+               std::span<const NetId> din, std::size_t depth_log2, NetId wr_en,
+               NetId rd_en) {
+  if (depth_log2 == 0 || depth_log2 > 8) {
+    throw std::invalid_argument("make_fifo: depth_log2 must be in [1, 8]");
+  }
+  const std::size_t depth = std::size_t{1} << depth_log2;
+  const std::size_t ptr_bits = depth_log2 + 1;  // extra wrap bit
+
+  Fifo fifo;
+
+  // Pointers as enabled counters. Enables depend on full/empty, which depend
+  // on the pointers, so allocate pointer state via forward wires.
+  std::vector<NetId> wptr_d = bld.forward_wires(name + "_wptr_d", ptr_bits);
+  std::vector<NetId> rptr_d = bld.forward_wires(name + "_rptr_d", ptr_bits);
+  Register wptr;
+  Register rptr;
+  {
+    netlist::RegisterBus wbus;
+    wbus.name = name + "_wptr";
+    netlist::RegisterBus rbus;
+    rbus.name = name + "_rptr";
+    for (std::size_t i = 0; i < ptr_bits; ++i) {
+      FlipFlop wff = bld.dff(wptr_d[i], false, wbus.name + "[" + std::to_string(i) + "]");
+      FlipFlop rff = bld.dff(rptr_d[i], false, rbus.name + "[" + std::to_string(i) + "]");
+      wbus.flip_flops.push_back(wff.cell);
+      rbus.flip_flops.push_back(rff.cell);
+      wptr.ffs.push_back(wff);
+      rptr.ffs.push_back(rff);
+      wptr.q.push_back(wff.q);
+      rptr.q.push_back(rff.q);
+    }
+    bld.add_register_bus(std::move(wbus));
+    bld.add_register_bus(std::move(rbus));
+  }
+
+  // Status flags. empty: pointers identical. full: same index bits, opposite
+  // wrap bits.
+  fifo.empty = equals(bld, wptr.q, rptr.q);
+  const Word w_index = word_slice(wptr.q, 0, depth_log2);
+  const Word r_index = word_slice(rptr.q, 0, depth_log2);
+  const NetId same_index = equals(bld, w_index, r_index);
+  const NetId wrap_differs = bld.xor2(wptr.q[depth_log2], rptr.q[depth_log2]);
+  fifo.full = bld.and2(same_index, wrap_differs);
+
+  const NetId do_write = bld.and2(wr_en, bld.inv(fifo.full));
+  const NetId do_read = bld.and2(rd_en, bld.inv(fifo.empty));
+
+  // Pointer next-state.
+  {
+    const AdderResult winc = incrementer(bld, wptr.q);
+    const Word wnext = word_mux(bld, wptr.q, winc.sum, do_write);
+    const AdderResult rinc = incrementer(bld, rptr.q);
+    const Word rnext = word_mux(bld, rptr.q, rinc.sum, do_read);
+    for (std::size_t i = 0; i < ptr_bits; ++i) {
+      bld.bind_forward_wire(wptr_d[i], wnext[i]);
+      bld.bind_forward_wire(rptr_d[i], rnext[i]);
+    }
+  }
+  fifo.pointer_ffs.insert(fifo.pointer_ffs.end(), wptr.ffs.begin(), wptr.ffs.end());
+  fifo.pointer_ffs.insert(fifo.pointer_ffs.end(), rptr.ffs.begin(), rptr.ffs.end());
+
+  // Storage slots with write-decode enables.
+  const Word w_decode = decoder(bld, w_index);
+  std::vector<Word> slot_outputs;
+  slot_outputs.reserve(depth);
+  for (std::size_t slot = 0; slot < depth; ++slot) {
+    const NetId slot_en = bld.and2(do_write, w_decode[slot]);
+    Register slot_reg = make_register_en(
+        bld, name + "_mem" + std::to_string(slot), din, slot_en);
+    slot_outputs.push_back(slot_reg.q);
+    fifo.storage_ffs.insert(fifo.storage_ffs.end(), slot_reg.ffs.begin(),
+                            slot_reg.ffs.end());
+  }
+
+  // Read mux.
+  const Word r_decode = decoder(bld, r_index);
+  fifo.dout = onehot_mux(bld, slot_outputs, r_decode);
+
+  // Occupancy = wptr - rptr (modular arithmetic handles the wrap bit).
+  fifo.occupancy = subtractor(bld, wptr.q, rptr.q).sum;
+  return fifo;
+}
+
+}  // namespace ffr::rtl

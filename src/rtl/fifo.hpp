@@ -1,0 +1,27 @@
+#pragma once
+// Synchronous FIFO lowered to gates: register-file storage, gray-free
+// binary read/write pointers with an extra wrap bit, one-hot read mux.
+// Mirrors the transmit/receive FIFOs of the 10GE MAC core.
+
+#include "rtl/sequential.hpp"
+
+namespace ffr::rtl {
+
+struct Fifo {
+  Word dout;          // read data (combinational from storage + read pointer)
+  NetId full;         // storage full (writes ignored while high)
+  NetId empty;        // storage empty (reads ignored while high)
+  Word occupancy;     // current element count, depth_log2+1 bits
+  // All storage/pointer flip-flops, for campaign bookkeeping.
+  std::vector<FlipFlop> storage_ffs;
+  std::vector<FlipFlop> pointer_ffs;
+};
+
+/// Builds a FIFO with 2^depth_log2 entries of `din.size()` bits.
+/// Writes happen when wr_en && !full; reads advance when rd_en && !empty.
+/// `dout` always shows the head entry.
+[[nodiscard]] Fifo make_fifo(NetlistBuilder& bld, const std::string& name,
+                             std::span<const NetId> din, std::size_t depth_log2,
+                             NetId wr_en, NetId rd_en);
+
+}  // namespace ffr::rtl

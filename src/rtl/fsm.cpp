@@ -1,0 +1,74 @@
+#include "rtl/fsm.hpp"
+
+#include <stdexcept>
+
+namespace ffr::rtl {
+
+FsmBuilder::FsmBuilder(NetlistBuilder& bld, std::string name, std::size_t num_states,
+                       std::size_t initial_state)
+    : bld_(bld),
+      name_(std::move(name)),
+      num_states_(num_states),
+      initial_state_(initial_state) {
+  if (num_states == 0) throw std::invalid_argument("FsmBuilder: zero states");
+  if (initial_state >= num_states) {
+    throw std::invalid_argument("FsmBuilder: initial state out of range");
+  }
+}
+
+void FsmBuilder::transition(std::size_t from, std::size_t to, NetId condition) {
+  if (from >= num_states_ || to >= num_states_) {
+    throw std::out_of_range("FsmBuilder::transition: state out of range");
+  }
+  transitions_.push_back({from, to, condition});
+}
+
+Fsm FsmBuilder::build() {
+  if (built_) throw std::logic_error("FsmBuilder::build called twice");
+  built_ = true;
+
+  Fsm fsm;
+  std::vector<NetId> d_wires = bld_.forward_wires(name_ + "_state_d", num_states_);
+  netlist::RegisterBus bus;
+  bus.name = name_ + "_state";
+  for (std::size_t s = 0; s < num_states_; ++s) {
+    netlist::FlipFlop ff = bld_.dff(d_wires[s], s == initial_state_,
+                                    bus.name + "[" + std::to_string(s) + "]");
+    bus.flip_flops.push_back(ff.cell);
+    fsm.state_ffs.push_back(ff);
+    fsm.state.push_back(ff.q);
+  }
+  bld_.add_register_bus(std::move(bus));
+
+  // Effective firing condition per transition: condition AND in-state AND not
+  // preempted by an earlier transition from the same state.
+  std::vector<NetId> fire(transitions_.size(), netlist::kNoNet);
+  std::vector<std::vector<std::size_t>> outgoing(num_states_);
+  for (std::size_t t = 0; t < transitions_.size(); ++t) {
+    outgoing[transitions_[t].from].push_back(t);
+  }
+  for (std::size_t s = 0; s < num_states_; ++s) {
+    NetId preempted = bld_.constant(false);
+    for (const std::size_t t : outgoing[s]) {
+      const NetId want = bld_.and2(fsm.state[s], transitions_[t].condition);
+      fire[t] = bld_.and2(want, bld_.inv(preempted));
+      preempted = bld_.or2(preempted, want);
+    }
+  }
+
+  // next[s] = OR(fire into s) OR (state[s] AND no outgoing transition fired).
+  for (std::size_t s = 0; s < num_states_; ++s) {
+    std::vector<NetId> sources;
+    for (std::size_t t = 0; t < transitions_.size(); ++t) {
+      if (transitions_[t].to == s) sources.push_back(fire[t]);
+    }
+    std::vector<NetId> fired_out;
+    for (const std::size_t t : outgoing[s]) fired_out.push_back(fire[t]);
+    const NetId any_out = bld_.or_reduce(std::move(fired_out));
+    sources.push_back(bld_.and2(fsm.state[s], bld_.inv(any_out)));
+    bld_.bind_forward_wire(d_wires[s], bld_.or_reduce(std::move(sources)));
+  }
+  return fsm;
+}
+
+}  // namespace ffr::rtl

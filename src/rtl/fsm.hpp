@@ -1,0 +1,49 @@
+#pragma once
+// One-hot finite-state-machine lowering. States become one flip-flop each;
+// transitions are (from, to, condition-net) triples with declaration-order
+// priority among transitions leaving the same state. A state with no firing
+// outgoing transition holds itself.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "rtl/word.hpp"
+
+namespace ffr::rtl {
+
+struct Fsm {
+  std::vector<netlist::FlipFlop> state_ffs;  // one per state, one-hot
+  Word state;                                // state[i] == 1 iff in state i
+
+  [[nodiscard]] NetId in_state(std::size_t s) const { return state.at(s); }
+};
+
+class FsmBuilder {
+ public:
+  FsmBuilder(NetlistBuilder& bld, std::string name, std::size_t num_states,
+             std::size_t initial_state = 0);
+
+  /// Adds a transition; earlier-declared transitions from the same state win
+  /// when several conditions are simultaneously true.
+  void transition(std::size_t from, std::size_t to, NetId condition);
+
+  /// Lower to gates. Call exactly once.
+  [[nodiscard]] Fsm build();
+
+ private:
+  struct Transition {
+    std::size_t from;
+    std::size_t to;
+    NetId condition;
+  };
+
+  NetlistBuilder& bld_;
+  std::string name_;
+  std::size_t num_states_;
+  std::size_t initial_state_;
+  std::vector<Transition> transitions_;
+  bool built_ = false;
+};
+
+}  // namespace ffr::rtl

@@ -1,0 +1,128 @@
+#include "rtl/sequential.hpp"
+
+#include <stdexcept>
+
+#include "rtl/arith.hpp"
+
+namespace ffr::rtl {
+
+Register make_register(NetlistBuilder& bld, const std::string& name,
+                       std::span<const NetId> d, std::uint64_t init) {
+  Register reg;
+  reg.ffs = bld.register_bus(name, d, init);
+  reg.q = NetlistBuilder::q_nets(reg.ffs);
+  return reg;
+}
+
+Register make_register_en(NetlistBuilder& bld, const std::string& name,
+                          std::span<const NetId> d, NetId en, std::uint64_t init) {
+  // q <= en ? d : q (mux feedback through the flip-flop's own Q).
+  Register reg;
+  reg.ffs.reserve(d.size());
+  reg.q.reserve(d.size());
+  netlist::RegisterBus bus;
+  bus.name = name;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const bool bit_init = ((init >> (i % 64)) & 1ULL) != 0;
+    FlipFlop ff = bld.dff_loop(
+        [&](NetId q) { return bld.mux2(q, d[i], en); },
+        bit_init, name + "[" + std::to_string(i) + "]");
+    bus.flip_flops.push_back(ff.cell);
+    reg.ffs.push_back(ff);
+    reg.q.push_back(ff.q);
+  }
+  bld.add_register_bus(std::move(bus));
+  return reg;
+}
+
+Counter make_counter(NetlistBuilder& bld, const std::string& name, std::size_t width,
+                     NetId enable, std::uint64_t init) {
+  return make_counter_clear(bld, name, width, enable, bld.constant(false), init);
+}
+
+Counter make_counter_clear(NetlistBuilder& bld, const std::string& name,
+                           std::size_t width, NetId enable, NetId clear,
+                           std::uint64_t init) {
+  // Two-phase: create FFs with self-loops, then the increment logic reads Q.
+  Counter counter;
+  netlist::RegisterBus bus;
+  bus.name = name;
+  std::vector<NetId> q;
+  std::vector<FlipFlop> ffs;
+  // First create the state bits with deferred D via dff_loop over the whole
+  // word: we need all Q bits before building the incrementer, so allocate
+  // forward wires.
+  std::vector<NetId> d_wires = bld.forward_wires(name + "_d", width);
+  for (std::size_t i = 0; i < width; ++i) {
+    const bool bit_init = ((init >> (i % 64)) & 1ULL) != 0;
+    FlipFlop ff = bld.dff(d_wires[i], bit_init, name + "[" + std::to_string(i) + "]");
+    bus.flip_flops.push_back(ff.cell);
+    ffs.push_back(ff);
+    q.push_back(ff.q);
+  }
+  const AdderResult inc = incrementer(bld, q);
+  const Word kept = word_mux(bld, q, inc.sum, enable);
+  const NetId nclear = bld.inv(clear);
+  for (std::size_t i = 0; i < width; ++i) {
+    bld.bind_forward_wire(d_wires[i], bld.and2(kept[i], nclear));
+  }
+  counter.wrap = bld.and2(inc.carry_out, enable);
+  counter.reg.ffs = std::move(ffs);
+  counter.reg.q = std::move(q);
+  bld.add_register_bus(std::move(bus));
+  return counter;
+}
+
+Register make_shift_register(NetlistBuilder& bld, const std::string& name,
+                             std::size_t width, NetId serial_in, NetId enable,
+                             std::uint64_t init) {
+  Register reg;
+  netlist::RegisterBus bus;
+  bus.name = name;
+  std::vector<NetId> d_wires = bld.forward_wires(name + "_d", width);
+  for (std::size_t i = 0; i < width; ++i) {
+    const bool bit_init = ((init >> (i % 64)) & 1ULL) != 0;
+    FlipFlop ff = bld.dff(d_wires[i], bit_init, name + "[" + std::to_string(i) + "]");
+    bus.flip_flops.push_back(ff.cell);
+    reg.ffs.push_back(ff);
+    reg.q.push_back(ff.q);
+  }
+  for (std::size_t i = 0; i < width; ++i) {
+    const NetId shifted_in = (i + 1 < width) ? reg.q[i + 1] : serial_in;
+    bld.bind_forward_wire(d_wires[i], bld.mux2(reg.q[i], shifted_in, enable));
+  }
+  bld.add_register_bus(std::move(bus));
+  return reg;
+}
+
+Register make_lfsr(NetlistBuilder& bld, const std::string& name, std::size_t width,
+                   std::span<const std::size_t> taps, NetId enable,
+                   std::uint64_t init) {
+  if (init == 0) throw std::invalid_argument("make_lfsr: zero init locks up");
+  Register reg;
+  netlist::RegisterBus bus;
+  bus.name = name;
+  std::vector<NetId> d_wires = bld.forward_wires(name + "_d", width);
+  for (std::size_t i = 0; i < width; ++i) {
+    const bool bit_init = ((init >> (i % 64)) & 1ULL) != 0;
+    FlipFlop ff = bld.dff(d_wires[i], bit_init, name + "[" + std::to_string(i) + "]");
+    bus.flip_flops.push_back(ff.cell);
+    reg.ffs.push_back(ff);
+    reg.q.push_back(ff.q);
+  }
+  std::vector<NetId> tap_bits;
+  tap_bits.reserve(taps.size());
+  for (const std::size_t tap : taps) {
+    if (tap >= width) throw std::out_of_range("make_lfsr: tap out of range");
+    tap_bits.push_back(reg.q[tap]);
+  }
+  const NetId feedback = bld.xor_reduce(std::move(tap_bits));
+  for (std::size_t i = 0; i < width; ++i) {
+    const NetId next = (i + 1 < width) ? reg.q[i + 1] : feedback;
+    bld.bind_forward_wire(d_wires[i], bld.mux2(reg.q[i], next, enable));
+  }
+  bld.add_register_bus(std::move(bus));
+  return reg;
+}
+
+}  // namespace ffr::rtl

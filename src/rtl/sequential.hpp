@@ -1,0 +1,53 @@
+#pragma once
+// Sequential building blocks: registers with enable, counters, shift
+// registers and LFSRs. Each returns both the flip-flop handles (for bus
+// registration / fault targeting) and the Q word (for wiring).
+
+#include "rtl/word.hpp"
+
+namespace ffr::rtl {
+
+using netlist::FlipFlop;
+
+struct Register {
+  std::vector<FlipFlop> ffs;
+  Word q;
+};
+
+/// Plain register: q <= d every cycle.
+[[nodiscard]] Register make_register(NetlistBuilder& bld, const std::string& name,
+                                     std::span<const NetId> d, std::uint64_t init = 0);
+
+/// Register with write enable: q <= en ? d : q (mux feedback).
+[[nodiscard]] Register make_register_en(NetlistBuilder& bld, const std::string& name,
+                                        std::span<const NetId> d, NetId en,
+                                        std::uint64_t init = 0);
+
+struct Counter {
+  Register reg;
+  NetId wrap;  // carry out of the increment (high on overflow when enabled)
+};
+
+/// Up-counter with enable; wraps at 2^width.
+[[nodiscard]] Counter make_counter(NetlistBuilder& bld, const std::string& name,
+                                   std::size_t width, NetId enable,
+                                   std::uint64_t init = 0);
+
+/// Counter with synchronous clear-to-zero (clear wins over enable).
+[[nodiscard]] Counter make_counter_clear(NetlistBuilder& bld, const std::string& name,
+                                         std::size_t width, NetId enable, NetId clear,
+                                         std::uint64_t init = 0);
+
+/// Shift register: shifts in `serial_in` at bit 0 when enabled.
+[[nodiscard]] Register make_shift_register(NetlistBuilder& bld,
+                                           const std::string& name, std::size_t width,
+                                           NetId serial_in, NetId enable,
+                                           std::uint64_t init = 0);
+
+/// Fibonacci LFSR over the given tap positions (XOR feedback into bit
+/// width-1, shifting toward bit 0). Init must be non-zero to avoid lock-up.
+[[nodiscard]] Register make_lfsr(NetlistBuilder& bld, const std::string& name,
+                                 std::size_t width, std::span<const std::size_t> taps,
+                                 NetId enable, std::uint64_t init = 1);
+
+}  // namespace ffr::rtl

@@ -1,0 +1,109 @@
+#include "rtl/word.hpp"
+
+#include <stdexcept>
+
+namespace ffr::rtl {
+
+namespace {
+
+void check_same_width(std::span<const NetId> a, std::span<const NetId> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("rtl word op: width mismatch");
+  }
+}
+
+}  // namespace
+
+Word constant_word(NetlistBuilder& b, std::uint64_t value, std::size_t width) {
+  Word out;
+  out.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    out.push_back(b.constant(((value >> (i % 64)) & 1ULL) != 0 && i < 64));
+  }
+  return out;
+}
+
+Word word_not(NetlistBuilder& b, std::span<const NetId> a) {
+  Word out;
+  out.reserve(a.size());
+  for (const NetId bit : a) out.push_back(b.inv(bit));
+  return out;
+}
+
+Word word_and(NetlistBuilder& b, std::span<const NetId> a,
+              std::span<const NetId> y) {
+  check_same_width(a, y);
+  Word out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out.push_back(b.and2(a[i], y[i]));
+  return out;
+}
+
+Word word_or(NetlistBuilder& b, std::span<const NetId> a, std::span<const NetId> y) {
+  check_same_width(a, y);
+  Word out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out.push_back(b.or2(a[i], y[i]));
+  return out;
+}
+
+Word word_xor(NetlistBuilder& b, std::span<const NetId> a,
+              std::span<const NetId> y) {
+  check_same_width(a, y);
+  Word out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out.push_back(b.xor2(a[i], y[i]));
+  return out;
+}
+
+Word word_mux(NetlistBuilder& b, std::span<const NetId> a_word,
+              std::span<const NetId> b_word, NetId sel) {
+  check_same_width(a_word, b_word);
+  Word out;
+  out.reserve(a_word.size());
+  for (std::size_t i = 0; i < a_word.size(); ++i) {
+    out.push_back(b.mux2(a_word[i], b_word[i], sel));
+  }
+  return out;
+}
+
+Word word_gate(NetlistBuilder& b, std::span<const NetId> a, NetId en) {
+  Word out;
+  out.reserve(a.size());
+  for (const NetId bit : a) out.push_back(b.and2(bit, en));
+  return out;
+}
+
+Word word_shl(NetlistBuilder& b, std::span<const NetId> a, std::size_t amount) {
+  Word out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out.push_back(i < amount ? b.constant(false) : a[i - amount]);
+  }
+  return out;
+}
+
+Word word_shr(NetlistBuilder& b, std::span<const NetId> a, std::size_t amount) {
+  Word out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out.push_back(i + amount < a.size() ? a[i + amount] : b.constant(false));
+  }
+  return out;
+}
+
+Word word_concat(std::span<const NetId> lo, std::span<const NetId> hi) {
+  Word out;
+  out.reserve(lo.size() + hi.size());
+  out.insert(out.end(), lo.begin(), lo.end());
+  out.insert(out.end(), hi.begin(), hi.end());
+  return out;
+}
+
+Word word_slice(std::span<const NetId> a, std::size_t from, std::size_t len) {
+  if (from + len > a.size()) throw std::out_of_range("word_slice");
+  return Word(a.begin() + static_cast<long>(from),
+              a.begin() + static_cast<long>(from + len));
+}
+
+}  // namespace ffr::rtl

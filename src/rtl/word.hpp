@@ -1,0 +1,50 @@
+#pragma once
+// Word-level combinational helpers: a Word is an LSB-first vector of nets.
+// These lower multi-bit RTL operators onto the gate-level builder, playing
+// the role logic synthesis plays in the paper's flow.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/builder.hpp"
+
+namespace ffr::rtl {
+
+using netlist::NetId;
+using netlist::NetlistBuilder;
+using Word = std::vector<NetId>;
+
+/// Constant word of `width` bits with the given value (LSB first).
+[[nodiscard]] Word constant_word(NetlistBuilder& b, std::uint64_t value,
+                                 std::size_t width);
+
+[[nodiscard]] Word word_not(NetlistBuilder& b, std::span<const NetId> a);
+[[nodiscard]] Word word_and(NetlistBuilder& b, std::span<const NetId> a,
+                            std::span<const NetId> y);
+[[nodiscard]] Word word_or(NetlistBuilder& b, std::span<const NetId> a,
+                           std::span<const NetId> y);
+[[nodiscard]] Word word_xor(NetlistBuilder& b, std::span<const NetId> a,
+                            std::span<const NetId> y);
+
+/// Per-bit 2:1 mux: out = sel ? b_word : a_word.
+[[nodiscard]] Word word_mux(NetlistBuilder& b, std::span<const NetId> a_word,
+                            std::span<const NetId> b_word, NetId sel);
+
+/// AND every bit with a single enable signal.
+[[nodiscard]] Word word_gate(NetlistBuilder& b, std::span<const NetId> a, NetId en);
+
+/// Static shifts; vacated positions filled with constant zero.
+[[nodiscard]] Word word_shl(NetlistBuilder& b, std::span<const NetId> a,
+                            std::size_t amount);
+[[nodiscard]] Word word_shr(NetlistBuilder& b, std::span<const NetId> a,
+                            std::size_t amount);
+
+/// Concatenate words ({lo, hi} -> lo bits first).
+[[nodiscard]] Word word_concat(std::span<const NetId> lo, std::span<const NetId> hi);
+
+/// Slice bits [from, from+len).
+[[nodiscard]] Word word_slice(std::span<const NetId> a, std::size_t from,
+                              std::size_t len);
+
+}  // namespace ffr::rtl

@@ -1,0 +1,74 @@
+#include "sim/reference_sim.hpp"
+
+#include <stdexcept>
+
+namespace ffr::sim {
+
+ReferenceSimulator::ReferenceSimulator(const netlist::Netlist& nl) : nl_(&nl) {
+  if (!nl.finalized()) {
+    throw std::invalid_argument("ReferenceSimulator: netlist not finalized");
+  }
+  values_.assign(nl.num_nets(), 0);
+  reset();
+}
+
+void ReferenceSimulator::reset() {
+  std::fill(values_.begin(), values_.end(), 0);
+  for (const netlist::CellId id : nl_->flip_flops()) {
+    values_[nl_->cell(id).output] = nl_->cell(id).init_value ? 1 : 0;
+  }
+  eval();
+}
+
+void ReferenceSimulator::set_input(netlist::NetId net, bool value) {
+  if (nl_->net(net).pi_index < 0) {
+    throw std::invalid_argument("ReferenceSimulator::set_input: not a PI");
+  }
+  values_[net] = value ? 1 : 0;
+}
+
+void ReferenceSimulator::eval() {
+  // Deliberately ignores the topological order: sweep all combinational
+  // cells until a fixed point. Correct for acyclic logic and independent of
+  // the levelization the packed simulator relies on.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (netlist::CellId id = 0; id < nl_->num_cells(); ++id) {
+      const netlist::Cell& cell = nl_->cell(id);
+      if (netlist::is_sequential(cell.func)) continue;
+      bool buffer[4] = {};
+      for (std::size_t i = 0; i < cell.inputs.size(); ++i) {
+        buffer[i] = values_[cell.inputs[i]] != 0;
+      }
+      const bool value = netlist::evaluate(
+          cell.func, std::span<const bool>(buffer, cell.inputs.size()));
+      if (values_[cell.output] != (value ? 1 : 0)) {
+        values_[cell.output] = value ? 1 : 0;
+        changed = true;
+      }
+    }
+  }
+}
+
+void ReferenceSimulator::tick() {
+  std::vector<char> next;
+  next.reserve(nl_->flip_flops().size());
+  for (const netlist::CellId id : nl_->flip_flops()) {
+    next.push_back(values_[nl_->cell(id).inputs[0]]);
+  }
+  std::size_t slot = 0;
+  for (const netlist::CellId id : nl_->flip_flops()) {
+    values_[nl_->cell(id).output] = next[slot++];
+  }
+}
+
+void ReferenceSimulator::inject(netlist::CellId ff_cell) {
+  const netlist::Cell& cell = nl_->cell(ff_cell);
+  if (!netlist::is_sequential(cell.func)) {
+    throw std::invalid_argument("ReferenceSimulator::inject: not a flip-flop");
+  }
+  values_[cell.output] ^= 1;
+}
+
+}  // namespace ffr::sim

@@ -1,0 +1,31 @@
+#pragma once
+// Naive single-lane reference simulator: evaluates cells with the cell
+// library's scalar `evaluate()` over bool values, recomputing until a fixed
+// point each cycle. Orders of magnitude slower than PackedSimulator but
+// obviously correct — used for differential testing of the packed engine.
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace ffr::sim {
+
+class ReferenceSimulator {
+ public:
+  explicit ReferenceSimulator(const netlist::Netlist& nl);
+
+  void reset();
+  void set_input(netlist::NetId net, bool value);
+  /// Recomputes every combinational cell until no net changes.
+  void eval();
+  void tick();
+  void inject(netlist::CellId ff_cell);
+
+  [[nodiscard]] bool value(netlist::NetId net) const { return values_[net]; }
+
+ private:
+  const netlist::Netlist* nl_;
+  std::vector<char> values_;  // per net
+};
+
+}  // namespace ffr::sim

@@ -1,0 +1,182 @@
+#include "sim/runner.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace ffr::sim {
+
+namespace {
+
+/// Incremental per-lane frame extraction at the monitored packet interface.
+class PacketMonitor {
+ public:
+  explicit PacketMonitor(const PacketMonitorSpec& spec) : spec_(&spec) {
+    if (spec.valid == netlist::kNoNet || spec.data.empty()) {
+      throw std::invalid_argument("PacketMonitor: incomplete monitor spec");
+    }
+    lanes_.resize(kNumLanes);
+  }
+
+  void observe(const PackedSimulator& simulator, std::size_t cycle) {
+    const Lanes valid = simulator.value(spec_->valid);
+    if (valid == 0) return;
+    const Lanes sop = simulator.value(spec_->sop);
+    const Lanes eop = simulator.value(spec_->eop);
+    const Lanes err = simulator.value(spec_->err);
+    std::uint64_t data_bits[8] = {};
+    const std::size_t width = std::min<std::size_t>(spec_->data.size(), 8);
+    for (std::size_t b = 0; b < width; ++b) {
+      data_bits[b] = simulator.value(spec_->data[b]);
+    }
+    Lanes remaining = valid;
+    while (remaining != 0) {
+      const int lane = std::countr_zero(remaining);
+      remaining &= remaining - 1;
+      LaneState& state = lanes_[static_cast<std::size_t>(lane)];
+      const std::uint64_t bit = Lanes{1} << lane;
+      if (eop & bit) {
+        // End marker: close the open frame (or record a headless end).
+        state.current.err = (err & bit) != 0;
+        state.current.end_cycle = cycle;
+        state.frames.push_back(std::move(state.current));
+        state.current = Frame{};
+        state.open = false;
+        continue;
+      }
+      if (sop & bit) {
+        if (state.open) {
+          // Truncated previous frame (no end marker): emit as errored.
+          state.current.err = true;
+          state.current.end_cycle = cycle;
+          state.frames.push_back(std::move(state.current));
+          state.current = Frame{};
+        }
+        state.open = true;
+      }
+      std::uint8_t byte = 0;
+      for (std::size_t b = 0; b < width; ++b) {
+        if (data_bits[b] & bit) byte |= static_cast<std::uint8_t>(1u << b);
+      }
+      state.current.bytes.push_back(byte);
+    }
+  }
+
+  [[nodiscard]] std::vector<FrameList> finish() {
+    std::vector<FrameList> result;
+    result.reserve(kNumLanes);
+    for (LaneState& state : lanes_) {
+      if (state.open && !state.current.bytes.empty()) {
+        // Frame left open at end of simulation: the circuit stopped
+        // delivering data mid-frame.
+        state.current.err = true;
+        state.frames.push_back(std::move(state.current));
+      }
+      result.push_back(std::move(state.frames));
+    }
+    return result;
+  }
+
+ private:
+  struct LaneState {
+    FrameList frames;
+    Frame current;
+    bool open = false;
+  };
+
+  const PacketMonitorSpec* spec_;
+  std::vector<LaneState> lanes_;
+};
+
+}  // namespace
+
+RunResult run_testbench(const netlist::Netlist& nl, const Testbench& tb,
+                        std::span<const InjectionEvent> injections,
+                        const RunOptions& options) {
+  const Stimulus& stim = tb.stimulus;
+  if (stim.num_inputs() != nl.primary_inputs().size()) {
+    throw std::invalid_argument("run_testbench: stimulus/PI count mismatch");
+  }
+  for (const InjectionEvent& ev : injections) {
+    if (ev.cycle >= stim.num_cycles()) {
+      throw std::invalid_argument("run_testbench: injection beyond end of run");
+    }
+  }
+
+  // Injection schedule sorted by cycle for a single sweep.
+  std::vector<InjectionEvent> schedule(injections.begin(), injections.end());
+  std::sort(schedule.begin(), schedule.end(),
+            [](const InjectionEvent& a, const InjectionEvent& b) {
+              return a.cycle < b.cycle;
+            });
+
+  PackedSimulator simulator(nl);
+  PacketMonitor monitor(tb.monitor);
+
+  const auto ffs = nl.flip_flops();
+  ActivityTrace activity;
+  std::vector<Lanes> prev_q;
+  if (options.trace_activity) {
+    activity.cycles_at_1.assign(ffs.size(), 0);
+    activity.state_changes.assign(ffs.size(), 0);
+    prev_q.resize(ffs.size());
+    for (std::size_t i = 0; i < ffs.size(); ++i) {
+      prev_q[i] = simulator.ff_state(ffs[i]);
+    }
+  }
+
+  // Loopback registers, driven with their idle value on the first cycle.
+  std::vector<Lanes> loop_values(tb.loopbacks.size());
+  for (std::size_t i = 0; i < tb.loopbacks.size(); ++i) {
+    loop_values[i] = broadcast(tb.loopbacks[i].initial);
+  }
+
+  std::size_t next_event = 0;
+  const auto pis = nl.primary_inputs();
+  for (std::size_t cycle = 0; cycle < stim.num_cycles(); ++cycle) {
+    for (std::size_t i = 0; i < pis.size(); ++i) {
+      simulator.set_input(pis[i], broadcast(stim.get(i, cycle)));
+    }
+    for (std::size_t i = 0; i < tb.loopbacks.size(); ++i) {
+      simulator.set_input(tb.loopbacks[i].to_input, loop_values[i]);
+    }
+    while (next_event < schedule.size() && schedule[next_event].cycle == cycle) {
+      simulator.inject(schedule[next_event].ff_cell, schedule[next_event].lane_mask);
+      ++next_event;
+    }
+    simulator.eval();
+    monitor.observe(simulator, cycle);
+    if (options.trace_activity) {
+      for (std::size_t i = 0; i < ffs.size(); ++i) {
+        const Lanes q = simulator.ff_state(ffs[i]);
+        activity.cycles_at_1[i] += q & 1u;
+        activity.state_changes[i] += (q ^ prev_q[i]) & 1u;
+        prev_q[i] = q;
+      }
+    }
+    for (std::size_t i = 0; i < tb.loopbacks.size(); ++i) {
+      loop_values[i] = simulator.value(tb.loopbacks[i].from_net);
+    }
+    simulator.tick();
+  }
+  if (options.trace_activity) activity.total_cycles = stim.num_cycles();
+
+  RunResult result;
+  result.lane_frames = monitor.finish();
+  result.activity = std::move(activity);
+  result.eval_count = simulator.eval_count();
+  return result;
+}
+
+GoldenResult run_golden(const netlist::Netlist& nl, const Testbench& tb) {
+  RunOptions options;
+  options.trace_activity = true;
+  RunResult run = run_testbench(nl, tb, {}, options);
+  GoldenResult golden;
+  golden.frames = std::move(run.lane_frames[0]);
+  golden.activity = std::move(run.activity);
+  golden.eval_count = run.eval_count;
+  return golden;
+}
+
+}  // namespace ffr::sim

@@ -1,0 +1,56 @@
+#pragma once
+// Drives a PackedSimulator through a testbench: applies stimulus, services
+// loopbacks, schedules fault injections, extracts per-lane frames at the
+// monitored packet interface and records per-flip-flop signal activity.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/packed_sim.hpp"
+#include "sim/testbench.hpp"
+
+namespace ffr::sim {
+
+/// A scheduled single-event upset: flip `ff_cell` state in `lane_mask` lanes
+/// at the start of `cycle` (before combinational evaluation).
+struct InjectionEvent {
+  netlist::CellId ff_cell = netlist::kNoCell;
+  std::uint32_t cycle = 0;
+  Lanes lane_mask = 0;
+};
+
+/// Per-flip-flop signal activity gathered during a run (lane 0 observed),
+/// indexed like Netlist::flip_flops().
+struct ActivityTrace {
+  std::vector<std::uint64_t> cycles_at_1;
+  std::vector<std::uint64_t> state_changes;
+  std::uint64_t total_cycles = 0;
+};
+
+struct RunResult {
+  std::vector<FrameList> lane_frames;  // size kNumLanes
+  ActivityTrace activity;              // filled when trace_activity is set
+  std::uint64_t eval_count = 0;
+};
+
+struct RunOptions {
+  bool trace_activity = false;
+};
+
+/// Runs the full testbench. `injections` may target any flip-flops/cycles;
+/// events outside [0, num_cycles) are rejected with std::invalid_argument.
+[[nodiscard]] RunResult run_testbench(const netlist::Netlist& nl,
+                                      const Testbench& tb,
+                                      std::span<const InjectionEvent> injections = {},
+                                      const RunOptions& options = {});
+
+/// Fault-free reference run: frames of lane 0 plus the activity trace.
+struct GoldenResult {
+  FrameList frames;
+  ActivityTrace activity;
+  std::uint64_t eval_count = 0;
+};
+
+[[nodiscard]] GoldenResult run_golden(const netlist::Netlist& nl, const Testbench& tb);
+
+}  // namespace ffr::sim

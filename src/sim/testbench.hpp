@@ -1,0 +1,80 @@
+#pragma once
+// Testbench description: open-loop input waveforms, registered loopback
+// connections (e.g. XGMII TX -> RX in the paper's 10GE MAC bench), the
+// packet-interface monitor specification and the fault-injection window.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace ffr::sim {
+
+/// Precomputed input waveforms. waves[i][c] is the value of the i-th primary
+/// input (in netlist PI order) at cycle c.
+class Stimulus {
+ public:
+  Stimulus(std::size_t num_inputs, std::size_t num_cycles)
+      : num_cycles_(num_cycles),
+        waves_(num_inputs, std::vector<std::uint8_t>(num_cycles, 0)) {}
+
+  void set(std::size_t pi_index, std::size_t cycle, bool value) {
+    waves_.at(pi_index).at(cycle) = value ? 1 : 0;
+  }
+  [[nodiscard]] bool get(std::size_t pi_index, std::size_t cycle) const {
+    return waves_.at(pi_index).at(cycle) != 0;
+  }
+  [[nodiscard]] std::size_t num_cycles() const noexcept { return num_cycles_; }
+  [[nodiscard]] std::size_t num_inputs() const noexcept { return waves_.size(); }
+
+ private:
+  std::size_t num_cycles_;
+  std::vector<std::vector<std::uint8_t>> waves_;
+};
+
+/// A registered (one-cycle-delay) connection from an output net back into a
+/// primary input, with an idle value driven on the first cycle.
+struct Loopback {
+  netlist::NetId from_net = netlist::kNoNet;
+  netlist::NetId to_input = netlist::kNoNet;
+  bool initial = false;
+};
+
+/// Nets of the user-side packet read interface to monitor. A byte is part of
+/// a frame when `valid` is high; `sop` opens a frame; an entry with `eop`
+/// closes it (eop entries carry no payload byte, matching the MAC's RX FIFO
+/// end-marker convention); `err` on the eop entry flags a bad frame.
+struct PacketMonitorSpec {
+  netlist::NetId valid = netlist::kNoNet;
+  netlist::NetId sop = netlist::kNoNet;
+  netlist::NetId eop = netlist::kNoNet;
+  netlist::NetId err = netlist::kNoNet;
+  std::vector<netlist::NetId> data;  // 8 nets, LSB first
+};
+
+struct Testbench {
+  Stimulus stimulus{0, 0};
+  std::vector<Loopback> loopbacks;
+  PacketMonitorSpec monitor;
+  /// Fault injections are drawn uniformly from [inject_begin, inject_end).
+  std::size_t inject_begin = 0;
+  std::size_t inject_end = 0;
+};
+
+/// One received frame as seen at the packet interface.
+struct Frame {
+  std::vector<std::uint8_t> bytes;
+  bool err = false;
+  std::size_t end_cycle = 0;
+
+  [[nodiscard]] bool operator==(const Frame& other) const {
+    // end_cycle intentionally ignored: a time-shifted but intact frame is
+    // functionally benign (Temporal De-Rating at the application level).
+    return err == other.err && bytes == other.bytes;
+  }
+};
+
+using FrameList = std::vector<Frame>;
+
+}  // namespace ffr::sim

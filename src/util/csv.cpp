@@ -1,0 +1,157 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ffr::util {
+
+std::size_t CsvTable::column_index(std::string_view name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  throw std::out_of_range("CsvTable: no column named '" + std::string(name) + "'");
+}
+
+std::vector<double> CsvTable::column_as_doubles(std::string_view name) const {
+  const std::size_t col = column_index(name);
+  std::vector<double> values;
+  values.reserve(rows.size());
+  for (const auto& row : rows) {
+    if (col >= row.size()) {
+      throw std::runtime_error("CsvTable: short row while reading column");
+    }
+    const std::string& cell = row[col];
+    double parsed = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(cell.data(), cell.data() + cell.size(), parsed);
+    if (ec != std::errc{} || ptr != cell.data() + cell.size()) {
+      throw std::runtime_error("CsvTable: cannot parse '" + cell + "' as double");
+    }
+    values.push_back(parsed);
+  }
+  return values;
+}
+
+std::string CsvWriter::escape(std::string_view field, char separator) {
+  const bool needs_quoting =
+      field.find_first_of("\"\r\n") != std::string_view::npos ||
+      field.find(separator) != std::string_view::npos;
+  if (!needs_quoting) return std::string(field);
+  std::string quoted;
+  quoted.reserve(field.size() + 2);
+  quoted.push_back('"');
+  for (const char c : field) {
+    if (c == '"') quoted.push_back('"');
+    quoted.push_back(c);
+  }
+  quoted.push_back('"');
+  return quoted;
+}
+
+std::string CsvWriter::format_double(double value) {
+  char buffer[64];
+  const auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  if (ec != std::errc{}) throw std::runtime_error("format_double failed");
+  return std::string(buffer, ptr);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) *out_ << separator_;
+    *out_ << escape(fields[i], separator_);
+  }
+  *out_ << '\n';
+}
+
+void CsvWriter::write_doubles(const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (const double v : values) fields.push_back(format_double(v));
+  write_row(fields);
+}
+
+namespace {
+
+// Split one logical CSV record, honouring quotes. `pos` is advanced past the
+// record's trailing newline.
+std::vector<std::string> parse_record(std::string_view text, std::size_t& pos,
+                                      char separator) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  while (pos < text.size()) {
+    const char c = text[pos];
+    if (in_quotes) {
+      if (c == '"') {
+        if (pos + 1 < text.size() && text[pos + 1] == '"') {
+          current.push_back('"');
+          ++pos;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == separator) {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c == '\n' || c == '\r') {
+      // Consume \r\n or \n.
+      if (c == '\r' && pos + 1 < text.size() && text[pos + 1] == '\n') ++pos;
+      ++pos;
+      fields.push_back(std::move(current));
+      return fields;
+    } else {
+      current.push_back(c);
+    }
+    ++pos;
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+}  // namespace
+
+CsvTable parse_csv(std::string_view text, char separator) {
+  CsvTable table;
+  std::size_t pos = 0;
+  if (pos < text.size()) table.header = parse_record(text, pos, separator);
+  while (pos < text.size()) {
+    auto record = parse_record(text, pos, separator);
+    // Skip completely empty trailing lines.
+    if (record.size() == 1 && record[0].empty()) continue;
+    table.rows.push_back(std::move(record));
+  }
+  return table;
+}
+
+CsvTable read_csv_file(const std::filesystem::path& path, char separator) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    throw std::runtime_error("read_csv_file: cannot open " + path.string());
+  }
+  std::ostringstream contents;
+  contents << file.rdbuf();
+  return parse_csv(contents.str(), separator);
+}
+
+void write_csv_file(const std::filesystem::path& path, const CsvTable& table,
+                    char separator) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) {
+    throw std::runtime_error("write_csv_file: cannot open " + path.string());
+  }
+  CsvWriter writer(file, separator);
+  writer.write_row(table.header);
+  for (const auto& row : table.rows) writer.write_row(row);
+  if (!file) {
+    throw std::runtime_error("write_csv_file: write failed for " + path.string());
+  }
+}
+
+}  // namespace ffr::util

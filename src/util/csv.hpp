@@ -1,0 +1,59 @@
+#pragma once
+// Minimal CSV reading/writing used to persist feature matrices, campaign
+// results and benchmark series. Supports quoting, embedded separators and
+// round-tripping of doubles at full precision.
+
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ffr::util {
+
+/// A parsed CSV table: a header row plus data rows of strings.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows.size(); }
+  [[nodiscard]] std::size_t num_cols() const noexcept { return header.size(); }
+
+  /// Index of a column by name; throws std::out_of_range if absent.
+  [[nodiscard]] std::size_t column_index(std::string_view name) const;
+
+  /// Entire column converted to double; throws on parse failure.
+  [[nodiscard]] std::vector<double> column_as_doubles(std::string_view name) const;
+};
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out, char separator = ',')
+      : out_(&out), separator_(separator) {}
+
+  void write_row(const std::vector<std::string>& fields);
+  void write_doubles(const std::vector<double>& values);
+
+  /// Escape a single field according to RFC 4180 quoting rules.
+  [[nodiscard]] static std::string escape(std::string_view field, char separator = ',');
+
+  /// Format a double with enough digits to round-trip.
+  [[nodiscard]] static std::string format_double(double value);
+
+ private:
+  std::ostream* out_;
+  char separator_;
+};
+
+/// Parse CSV text (first row is the header).
+[[nodiscard]] CsvTable parse_csv(std::string_view text, char separator = ',');
+
+/// Read and parse a CSV file; throws std::runtime_error on I/O failure.
+[[nodiscard]] CsvTable read_csv_file(const std::filesystem::path& path,
+                                     char separator = ',');
+
+/// Write a table to a file; throws std::runtime_error on I/O failure.
+void write_csv_file(const std::filesystem::path& path, const CsvTable& table,
+                    char separator = ',');
+
+}  // namespace ffr::util

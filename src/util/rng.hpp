@@ -1,0 +1,124 @@
+#pragma once
+// Deterministic, seedable random number generation for the whole library.
+//
+// Every stochastic component (fault-injection schedules, train/test splits,
+// random hyperparameter search, workload generation) takes an explicit
+// `Rng&` or a seed; there is no global RNG state, so campaigns and
+// experiments are reproducible bit-for-bit given a seed.
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace ffr::util {
+
+/// SplitMix64: used to expand a single 64-bit seed into a full state.
+/// Reference: Steele, Lea, Flood — "Fast Splittable Pseudorandom Number
+/// Generators", OOPSLA 2014.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256++ PRNG (Blackman & Vigna). Fast, high quality, 2^256-1 period.
+/// Satisfies the UniformRandomBitGenerator concept so it can be used with
+/// <random> distributions as well.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eedULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Log-uniform double in [lo, hi); lo and hi must be positive.
+  [[nodiscard]] double log_uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). n must be > 0. Uses Lemire's method.
+  [[nodiscard]] std::uint64_t below(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with probability p of returning true.
+  [[nodiscard]] bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Standard normal via Marsaglia polar method.
+  [[nodiscard]] double normal() noexcept;
+
+  /// Normal with given mean and standard deviation.
+  [[nodiscard]] double normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+  }
+
+  /// Fisher-Yates shuffle of a span in place.
+  template <typename T>
+  void shuffle(std::span<T> items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    shuffle(std::span<T>{items});
+  }
+
+  /// A random permutation of [0, n).
+  [[nodiscard]] std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Sample k distinct indices from [0, n) without replacement.
+  [[nodiscard]] std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                                    std::size_t k);
+
+  /// Split off an independent child generator (for per-thread streams).
+  [[nodiscard]] Rng split() noexcept { return Rng{(*this)()}; }
+
+ private:
+  [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace ffr::util

@@ -1,0 +1,33 @@
+#pragma once
+// Aligned ASCII table printing used by the benchmark harnesses to emit the
+// paper's tables and figure series in a readable form.
+
+#include <string>
+#include <vector>
+
+namespace ffr::util {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format doubles with `precision` decimal places.
+  void add_row_numeric(const std::string& label, const std::vector<double>& values,
+                       int precision = 3);
+
+  /// Render with column alignment and a header separator.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Render and write to stdout.
+  void print() const;
+
+  [[nodiscard]] static std::string format(double value, int precision);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ffr::util

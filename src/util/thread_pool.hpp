@@ -1,0 +1,52 @@
+#pragma once
+// A small fixed-size thread pool with a parallel-for helper, used to run
+// fault-injection campaigns and cross-validation folds concurrently.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ffr::util {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task for asynchronous execution.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished executing.
+  void wait_idle();
+
+  /// Run body(i) for i in [0, count) across the pool and wait for completion.
+  /// Exceptions thrown by `body` are rethrown (first one wins) on the caller.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Convenience: one-shot parallel for over [0, count) using `num_threads`.
+void parallel_for(std::size_t count, std::size_t num_threads,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace ffr::util

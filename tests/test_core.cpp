@@ -1,0 +1,145 @@
+// End-to-end tests of the estimation flow (paper Fig. 1) on a small MAC:
+// the flow must spend proportionally fewer injections, produce calibrated
+// FDR values, and its predictions must correlate with a full flat campaign.
+
+#include <gtest/gtest.h>
+
+#include "circuits/mac_core.hpp"
+#include "circuits/mac_testbench.hpp"
+#include "core/estimation_flow.hpp"
+
+namespace ffr::core {
+namespace {
+
+struct FlowFixture : public ::testing::Test {
+  void SetUp() override {
+    circuits::MacConfig mc;
+    mc.tx_depth_log2 = 3;
+    mc.rx_depth_log2 = 3;
+    mac = circuits::build_mac_core(mc);
+    circuits::MacTestbenchConfig tbc;
+    tbc.num_frames = 3;
+    tbc.min_payload = 8;
+    tbc.max_payload = 16;
+    tbc.seed = 11;
+    bench = circuits::build_mac_testbench(mac, tbc);
+  }
+  circuits::MacCore mac;
+  circuits::MacTestbench bench;
+};
+
+TEST_F(FlowFixture, FlowProducesFdrForEveryFlipFlop) {
+  FlowConfig config;
+  config.training_size = 0.3;
+  config.injections_per_ff = 16;
+  config.model = "knn_paper";
+  const FlowResult result = run_estimation_flow(mac.netlist, bench.tb, config);
+  const std::size_t n = mac.netlist.num_flip_flops();
+  EXPECT_EQ(result.fdr.size(), n);
+  EXPECT_EQ(result.features.num_ffs(), n);
+  for (const double v : result.fdr) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST_F(FlowFixture, CostReductionMatchesTrainingSize) {
+  FlowConfig config;
+  config.training_size = 0.25;
+  config.injections_per_ff = 8;
+  const FlowResult result = run_estimation_flow(mac.netlist, bench.tb, config);
+  EXPECT_NEAR(result.cost_reduction(), 4.0, 0.25);
+  const std::size_t n = mac.netlist.num_flip_flops();
+  EXPECT_EQ(result.injections_full, n * 8u);
+  EXPECT_EQ(result.injections_spent, result.train_indices.size() * 8u);
+}
+
+TEST_F(FlowFixture, TrainEntriesKeepMeasuredValues) {
+  FlowConfig config;
+  config.training_size = 0.2;
+  config.injections_per_ff = 8;
+  const FlowResult result = run_estimation_flow(mac.netlist, bench.tb, config);
+  for (std::size_t t = 0; t < result.train_indices.size(); ++t) {
+    EXPECT_DOUBLE_EQ(result.fdr[result.train_indices[t]], result.train_fdr[t]);
+  }
+  // Training indices marked consistently.
+  std::size_t marked = 0;
+  for (const bool b : result.is_train) marked += b;
+  EXPECT_EQ(marked, result.train_indices.size());
+}
+
+TEST_F(FlowFixture, DeterministicForSeed) {
+  FlowConfig config;
+  config.training_size = 0.3;
+  config.injections_per_ff = 8;
+  config.seed = 123;
+  const FlowResult a = run_estimation_flow(mac.netlist, bench.tb, config);
+  const FlowResult b = run_estimation_flow(mac.netlist, bench.tb, config);
+  EXPECT_EQ(a.train_indices, b.train_indices);
+  EXPECT_EQ(a.fdr, b.fdr);
+}
+
+TEST_F(FlowFixture, PredictionsCorrelateWithFullCampaign) {
+  // Reference: full flat campaign with the same injection count.
+  const sim::GoldenResult golden = sim::run_golden(mac.netlist, bench.tb);
+  fault::CampaignConfig full_config;
+  full_config.injections_per_ff = 24;
+  const fault::CampaignResult reference =
+      fault::run_campaign(mac.netlist, bench.tb, golden, full_config);
+
+  FlowConfig config;
+  config.training_size = 0.5;
+  config.injections_per_ff = 24;
+  config.model = "knn_paper";
+  const FlowResult flow = run_estimation_flow(mac.netlist, bench.tb, config);
+  const ml::RegressionMetrics metrics = score_against_campaign(flow, reference);
+  // On held-out flip-flops the model must clearly beat the trivial
+  // mean-predictor (R2 > 0) and keep MAE well below the FDR range.
+  EXPECT_GT(metrics.r2, 0.3);
+  EXPECT_LT(metrics.mae, 0.25);
+}
+
+TEST_F(FlowFixture, LinearModelUnderperformsKnn) {
+  const sim::GoldenResult golden = sim::run_golden(mac.netlist, bench.tb);
+  fault::CampaignConfig full_config;
+  full_config.injections_per_ff = 24;
+  const fault::CampaignResult reference =
+      fault::run_campaign(mac.netlist, bench.tb, golden, full_config);
+
+  FlowConfig config;
+  config.training_size = 0.5;
+  config.injections_per_ff = 24;
+  config.model = "linear";
+  const double linear_r2 =
+      score_against_campaign(run_estimation_flow(mac.netlist, bench.tb, config),
+                             reference)
+          .r2;
+  config.model = "knn_paper";
+  const double knn_r2 =
+      score_against_campaign(run_estimation_flow(mac.netlist, bench.tb, config),
+                             reference)
+          .r2;
+  EXPECT_GT(knn_r2, linear_r2);
+}
+
+TEST_F(FlowFixture, BadConfigRejected) {
+  FlowConfig config;
+  config.training_size = 0.0;
+  EXPECT_THROW((void)run_estimation_flow(mac.netlist, bench.tb, config),
+               std::invalid_argument);
+  config.training_size = 1.5;
+  EXPECT_THROW((void)run_estimation_flow(mac.netlist, bench.tb, config),
+               std::invalid_argument);
+}
+
+TEST_F(FlowFixture, ScoreRequiresFullReference) {
+  FlowConfig config;
+  config.training_size = 0.3;
+  config.injections_per_ff = 8;
+  const FlowResult flow = run_estimation_flow(mac.netlist, bench.tb, config);
+  fault::CampaignResult bogus;  // empty reference
+  EXPECT_THROW((void)score_against_campaign(flow, bogus), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ffr::core

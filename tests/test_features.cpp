@@ -1,0 +1,270 @@
+// Tests for src/features: every structural feature is verified against
+// hand-computed values on small, fully-understood netlists; graph utilities
+// against known topologies; dynamic features against scripted activity.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "features/extractor.hpp"
+#include "features/feature_set.hpp"
+#include "features/graph.hpp"
+#include "netlist/builder.hpp"
+#include "rtl/sequential.hpp"
+#include "sim/runner.hpp"
+
+namespace ffr::features {
+namespace {
+
+using netlist::FlipFlop;
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::NetlistBuilder;
+
+double feat(const FeatureMatrix& fm, std::size_t ff, Feature f) {
+  return fm.values(ff, index_of(f));
+}
+
+TEST(FeatureSet, NamesAreUniqueAndComplete) {
+  const auto names = feature_names();
+  EXPECT_EQ(names.size(), kNumFeatures);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_NE(names[i], "unknown");
+    for (std::size_t j = i + 1; j < names.size(); ++j) {
+      EXPECT_NE(names[i], names[j]);
+    }
+  }
+}
+
+TEST(FeatureSet, GroupsPartitionAllFeatures) {
+  const auto structural = structural_feature_indices();
+  const auto synthesis = synthesis_feature_indices();
+  const auto dynamic = dynamic_feature_indices();
+  EXPECT_EQ(structural.size() + synthesis.size() + dynamic.size(), kNumFeatures);
+}
+
+// Chain: pi -> [inv] -> ffA -> [buf] -> ffB -> po, plus ffC (self-loop).
+struct ChainFixture : public ::testing::Test {
+  void SetUp() override {
+    NetlistBuilder bld("chain");
+    pi = bld.input("pi");
+    FlipFlop a = bld.dff(bld.inv(pi), false, "ffA");
+    FlipFlop b = bld.dff(bld.buf(a.q), false, "ffB");
+    FlipFlop c = bld.dff_loop([&](NetId q) { return bld.inv(q); }, false, "ffC");
+    bld.output(b.q, "po");
+    bld.output(c.q, "po_c");
+    nl = bld.build();
+    // flip_flops() order is creation order: ffA=0, ffB=1, ffC=2.
+    fm = extract_static_features(nl);
+  }
+  Netlist nl{"x"};
+  NetId pi{};
+  FeatureMatrix fm;
+};
+
+TEST_F(ChainFixture, FanInOut) {
+  EXPECT_EQ(feat(fm, 0, Feature::kFfFanIn), 0.0);   // fed by PI only
+  EXPECT_EQ(feat(fm, 0, Feature::kFfFanOut), 1.0);  // feeds ffB
+  EXPECT_EQ(feat(fm, 1, Feature::kFfFanIn), 1.0);
+  EXPECT_EQ(feat(fm, 1, Feature::kFfFanOut), 0.0);  // feeds only the PO
+  EXPECT_EQ(feat(fm, 2, Feature::kFfFanIn), 1.0);   // itself via the loop
+  EXPECT_EQ(feat(fm, 2, Feature::kFfFanOut), 1.0);
+}
+
+TEST_F(ChainFixture, TotalFfs) {
+  EXPECT_EQ(feat(fm, 0, Feature::kTotalFfsFrom), 0.0);
+  EXPECT_EQ(feat(fm, 0, Feature::kTotalFfsTo), 1.0);   // ffB
+  EXPECT_EQ(feat(fm, 1, Feature::kTotalFfsFrom), 1.0); // ffA
+  EXPECT_EQ(feat(fm, 1, Feature::kTotalFfsTo), 0.0);
+  // ffC reaches itself through the loop.
+  EXPECT_EQ(feat(fm, 2, Feature::kTotalFfsFrom), 1.0);
+  EXPECT_EQ(feat(fm, 2, Feature::kTotalFfsTo), 1.0);
+}
+
+TEST_F(ChainFixture, PrimaryConnections) {
+  EXPECT_EQ(feat(fm, 0, Feature::kConnFromPrimaryInput), 1.0);
+  EXPECT_EQ(feat(fm, 1, Feature::kConnFromPrimaryInput), 0.0);
+  EXPECT_EQ(feat(fm, 0, Feature::kConnToPrimaryOutput), 0.0);
+  EXPECT_EQ(feat(fm, 1, Feature::kConnToPrimaryOutput), 1.0);
+  EXPECT_EQ(feat(fm, 2, Feature::kConnToPrimaryOutput), 1.0);
+}
+
+TEST_F(ChainFixture, Proximity) {
+  // ffA: 1 stage from PI; ffB: 2 stages from PI; ffC: unreachable from PI.
+  EXPECT_EQ(feat(fm, 0, Feature::kProximityFromPiMin), 1.0);
+  EXPECT_EQ(feat(fm, 0, Feature::kProximityFromPiAvg), 1.0);
+  EXPECT_EQ(feat(fm, 1, Feature::kProximityFromPiMin), 2.0);
+  EXPECT_EQ(feat(fm, 2, Feature::kProximityFromPiMin), kNoValue);
+  EXPECT_EQ(feat(fm, 2, Feature::kProximityFromPiAvg), kNoValue);
+  // To PO: ffB direct (1), ffA through ffB (2); ffC direct to po_c (1).
+  EXPECT_EQ(feat(fm, 1, Feature::kProximityToPoMin), 1.0);
+  EXPECT_EQ(feat(fm, 0, Feature::kProximityToPoMin), 2.0);
+  EXPECT_EQ(feat(fm, 2, Feature::kProximityToPoMin), 1.0);
+}
+
+TEST_F(ChainFixture, FeedbackLoop) {
+  EXPECT_EQ(feat(fm, 0, Feature::kHasFeedbackLoop), 0.0);
+  EXPECT_EQ(feat(fm, 0, Feature::kFeedbackLoopDepth), kNoValue);
+  EXPECT_EQ(feat(fm, 2, Feature::kHasFeedbackLoop), 1.0);
+  EXPECT_EQ(feat(fm, 2, Feature::kFeedbackLoopDepth), 1.0);
+}
+
+TEST_F(ChainFixture, BusFeaturesForLooseFlipFlops) {
+  EXPECT_EQ(feat(fm, 0, Feature::kPartOfBus), 0.0);
+  EXPECT_EQ(feat(fm, 0, Feature::kBusPosition), kNoValue);
+  EXPECT_EQ(feat(fm, 0, Feature::kBusLength), 0.0);
+}
+
+TEST_F(ChainFixture, CombCounts) {
+  // ffA cone: the INV; ffB cone: the BUF (plus the loop-closing buffer on
+  // ffC counts into ffC's cone via dff_loop's forward wire buffer).
+  EXPECT_EQ(feat(fm, 0, Feature::kCombFanIn), 1.0);
+  EXPECT_EQ(feat(fm, 1, Feature::kCombFanIn), 1.0);
+  // ffA output cone: the BUF feeding ffB -> comb fan-out 1, path depth 1.
+  EXPECT_EQ(feat(fm, 0, Feature::kCombFanOut), 1.0);
+  EXPECT_EQ(feat(fm, 0, Feature::kCombPathDepth), 1.0);
+  // ffB drives the PO directly: no comb cells.
+  EXPECT_EQ(feat(fm, 1, Feature::kCombFanOut), 0.0);
+  EXPECT_EQ(feat(fm, 1, Feature::kCombPathDepth), 0.0);
+}
+
+TEST(Features, DeepFeedbackLoopDepth) {
+  // ff0 -> ff1 -> ff2 -> ff0: every FF lies on a 3-cycle.
+  NetlistBuilder bld("ring");
+  const NetId seed_wire = bld.forward_wire("loop_in");
+  FlipFlop f0 = bld.dff(seed_wire, true, "f0");
+  FlipFlop f1 = bld.dff(bld.buf(f0.q), false, "f1");
+  FlipFlop f2 = bld.dff(bld.buf(f1.q), false, "f2");
+  bld.bind_forward_wire(seed_wire, f2.q);
+  bld.output(f2.q, "po");
+  const Netlist nl = bld.build();
+  const FeatureMatrix fm = extract_static_features(nl);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(feat(fm, i, Feature::kHasFeedbackLoop), 1.0) << i;
+    EXPECT_EQ(feat(fm, i, Feature::kFeedbackLoopDepth), 3.0) << i;
+  }
+}
+
+TEST(Features, BusMembership) {
+  NetlistBuilder bld("bus");
+  const auto d = bld.input_bus("d", 4);
+  const auto ffs = bld.register_bus("reg", d);
+  bld.output_bus(NetlistBuilder::q_nets(ffs), "q");
+  const Netlist nl = bld.build();
+  const FeatureMatrix fm = extract_static_features(nl);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(feat(fm, i, Feature::kPartOfBus), 1.0);
+    EXPECT_EQ(feat(fm, i, Feature::kBusPosition), static_cast<double>(i));
+    EXPECT_EQ(feat(fm, i, Feature::kBusLength), 4.0);
+  }
+}
+
+TEST(Features, ConstantDriversCounted) {
+  NetlistBuilder bld("consts");
+  const NetId a = bld.input("a");
+  const NetId one = bld.constant(true);
+  const NetId zero = bld.constant(false);
+  FlipFlop ff = bld.dff(bld.or2(bld.and2(a, one), zero), false, "ff");
+  bld.output(ff.q, "po");
+  const Netlist nl = bld.build();
+  const FeatureMatrix fm = extract_static_features(nl);
+  EXPECT_EQ(feat(fm, 0, Feature::kConnConstantDrivers), 2.0);
+}
+
+TEST(Features, DriveStrengthReflectsFanout) {
+  NetlistBuilder bld("drv");
+  const NetId a = bld.input("a");
+  FlipFlop hot = bld.dff(a, false, "hot");  // fans out to 10 gates
+  std::vector<NetId> sinks;
+  for (int i = 0; i < 10; ++i) sinks.push_back(bld.inv(hot.q));
+  FlipFlop cold = bld.dff(bld.or_reduce(sinks), false, "cold");
+  bld.output(cold.q, "po");
+  const Netlist nl = bld.build();
+  const FeatureMatrix fm = extract_static_features(nl);
+  EXPECT_EQ(feat(fm, 0, Feature::kDriveStrength), 4.0);  // upsized
+  EXPECT_EQ(feat(fm, 1, Feature::kDriveStrength), 1.0);
+}
+
+TEST(Features, DynamicActivityFromTrace) {
+  NetlistBuilder bld("dyn");
+  const NetId d = bld.input("d");
+  FlipFlop ff = bld.dff(d, false, "ff");
+  bld.output(ff.q, "po");
+  const Netlist nl = bld.build();
+  sim::ActivityTrace trace;
+  trace.cycles_at_1 = {25};
+  trace.state_changes = {7};
+  trace.total_cycles = 100;
+  const FeatureMatrix fm = extract_features(nl, trace);
+  EXPECT_DOUBLE_EQ(feat(fm, 0, Feature::kAt1Ratio), 0.25);
+  EXPECT_DOUBLE_EQ(feat(fm, 0, Feature::kAt0Ratio), 0.75);
+  EXPECT_DOUBLE_EQ(feat(fm, 0, Feature::kStateChanges), 7.0);
+}
+
+TEST(Features, ActivityMismatchRejected) {
+  NetlistBuilder bld("dyn2");
+  const NetId d = bld.input("d");
+  FlipFlop ff = bld.dff(d, false, "ff");
+  bld.output(ff.q, "po");
+  const Netlist nl = bld.build();
+  sim::ActivityTrace trace;  // wrong size
+  trace.cycles_at_1 = {1, 2};
+  trace.state_changes = {1, 2};
+  trace.total_cycles = 10;
+  EXPECT_THROW((void)extract_features(nl, trace), std::invalid_argument);
+}
+
+TEST(Features, CsvRoundTrip) {
+  NetlistBuilder bld("csv");
+  const auto d = bld.input_bus("d", 3);
+  const auto ffs = bld.register_bus("r", d);
+  bld.output_bus(NetlistBuilder::q_nets(ffs), "q");
+  const Netlist nl = bld.build();
+  const FeatureMatrix fm = extract_static_features(nl);
+  const auto path = std::filesystem::temp_directory_path() / "ffr_features.csv";
+  fm.save_csv(path);
+  const FeatureMatrix loaded = FeatureMatrix::load_csv(path);
+  ASSERT_EQ(loaded.num_ffs(), fm.num_ffs());
+  EXPECT_EQ(loaded.ff_names, fm.ff_names);
+  for (std::size_t r = 0; r < fm.num_ffs(); ++r) {
+    for (std::size_t c = 0; c < kNumFeatures; ++c) {
+      EXPECT_DOUBLE_EQ(loaded.values(r, c), fm.values(r, c));
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+// ---- graph utilities ------------------------------------------------------------
+
+TEST(Graph, DijkstraUnitDistances) {
+  // 0 -> 1 -> 2 -> 3, plus shortcut 0 -> 2.
+  std::vector<std::vector<std::uint32_t>> adj = {{1, 2}, {2}, {3}, {}};
+  const auto dist = dijkstra_unit(adj, {0});
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], 1u);
+  EXPECT_EQ(dist[3], 2u);
+}
+
+TEST(Graph, DijkstraUnreachable) {
+  std::vector<std::vector<std::uint32_t>> adj = {{}, {0}};
+  const auto dist = dijkstra_unit(adj, {0});
+  EXPECT_EQ(dist[1], kUnreachable);
+}
+
+TEST(Graph, CountReachableExcludesSelfWithoutCycle) {
+  std::vector<std::vector<std::uint32_t>> adj = {{1}, {2}, {}};
+  EXPECT_EQ(count_reachable(adj, 0), 2u);
+  EXPECT_EQ(count_reachable(adj, 2), 0u);
+}
+
+TEST(Graph, ShortestCycle) {
+  // 0 -> 1 -> 0 (len 2) and 2 -> 2 (self loop len 1), 3 acyclic.
+  std::vector<std::vector<std::uint32_t>> adj = {{1}, {0}, {2}, {0}};
+  EXPECT_EQ(shortest_cycle_through(adj, 0), 2u);
+  EXPECT_EQ(shortest_cycle_through(adj, 2), 1u);
+  EXPECT_EQ(shortest_cycle_through(adj, 3), kUnreachable);
+}
+
+}  // namespace
+}  // namespace ffr::features

@@ -1,0 +1,228 @@
+// Unit + property tests for src/linalg: matrix algebra identities, QR-based
+// least squares (including rank-deficient designs), Cholesky solves, ridge.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/decompositions.hpp"
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace ffr::linalg {
+namespace {
+
+Matrix random_matrix(util::Rng& rng, std::size_t rows, std::size_t cols) {
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = rng.normal();
+  }
+  return m;
+}
+
+Vector random_vector(util::Rng& rng, std::size_t n) {
+  Vector v(n);
+  for (auto& x : v) x = rng.normal();
+  return v;
+}
+
+TEST(Matrix, InitializerListAndAccess) {
+  const Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m(1, 2), 6.0);
+  EXPECT_THROW((void)m.at(2, 0), std::out_of_range);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(Matrix, IdentityAndMatmul) {
+  util::Rng rng(1);
+  const Matrix a = random_matrix(rng, 4, 4);
+  const Matrix prod = matmul(a, Matrix::identity(4));
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) EXPECT_DOUBLE_EQ(prod(r, c), a(r, c));
+  }
+}
+
+TEST(Matrix, MatmulShapeMismatchThrows) {
+  EXPECT_THROW((void)matmul(Matrix(2, 3), Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(Matrix, TransposeInvolution) {
+  util::Rng rng(2);
+  const Matrix a = random_matrix(rng, 3, 5);
+  const Matrix att = a.transposed().transposed();
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 5; ++c) EXPECT_DOUBLE_EQ(att(r, c), a(r, c));
+  }
+}
+
+TEST(Matrix, MatvecMatchesMatmul) {
+  util::Rng rng(3);
+  const Matrix a = random_matrix(rng, 4, 3);
+  const Vector x = random_vector(rng, 3);
+  const Vector y = matvec(a, x);
+  Matrix xm(3, 1);
+  for (std::size_t i = 0; i < 3; ++i) xm(i, 0) = x[i];
+  const Matrix ym = matmul(a, xm);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(y[i], ym(i, 0), 1e-12);
+}
+
+TEST(Matrix, SelectRowsAndCols) {
+  const Matrix m{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  const std::size_t rows[] = {2, 0};
+  const Matrix sel = m.select_rows(rows);
+  EXPECT_EQ(sel(0, 0), 7.0);
+  EXPECT_EQ(sel(1, 2), 3.0);
+  const std::size_t cols[] = {1};
+  const Matrix selc = m.select_cols(cols);
+  EXPECT_EQ(selc.cols(), 1u);
+  EXPECT_EQ(selc(2, 0), 8.0);
+}
+
+TEST(Matrix, WithBiasColumn) {
+  const Matrix m{{2, 3}};
+  const Matrix b = m.with_bias_column();
+  EXPECT_EQ(b.cols(), 3u);
+  EXPECT_EQ(b(0, 0), 1.0);
+  EXPECT_EQ(b(0, 1), 2.0);
+}
+
+TEST(VectorOps, DotNormAxpy) {
+  const Vector a{1, 2, 3};
+  const Vector b{4, -5, 6};
+  EXPECT_DOUBLE_EQ(dot(a, b), 4 - 10 + 18);
+  EXPECT_DOUBLE_EQ(norm1(b), 15.0);
+  EXPECT_DOUBLE_EQ(norm_inf(b), 6.0);
+  EXPECT_NEAR(norm2(a), std::sqrt(14.0), 1e-12);
+  const Vector c = axpy(2.0, a, b);
+  EXPECT_EQ(c, (Vector{6, -1, 12}));
+}
+
+TEST(VectorOps, Statistics) {
+  const Vector v{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(variance(v), 1.25);
+  EXPECT_DOUBLE_EQ(min_value(v), 1.0);
+  EXPECT_DOUBLE_EQ(max_value(v), 4.0);
+  EXPECT_THROW((void)mean(Vector{}), std::invalid_argument);
+}
+
+TEST(Qr, SolvesExactSquareSystem) {
+  const Matrix a{{2, 1}, {1, 3}};
+  const Vector b{5, 10};
+  const Vector x = lstsq(a, b);
+  EXPECT_NEAR(2 * x[0] + x[1], 5.0, 1e-10);
+  EXPECT_NEAR(x[0] + 3 * x[1], 10.0, 1e-10);
+}
+
+TEST(Qr, RecoversPlantedCoefficients) {
+  util::Rng rng(7);
+  const std::size_t n = 200;
+  const std::size_t p = 6;
+  const Vector truth{1.5, -2.0, 0.0, 3.25, 0.5, -1.0};
+  Matrix x = random_matrix(rng, n, p);
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) y[i] = dot(x.row(i), truth);
+  const Vector est = lstsq(x, y);
+  for (std::size_t j = 0; j < p; ++j) EXPECT_NEAR(est[j], truth[j], 1e-9);
+}
+
+TEST(Qr, LeastSquaresResidualOrthogonalToColumns) {
+  util::Rng rng(8);
+  const Matrix x = random_matrix(rng, 50, 4);
+  const Vector y = random_vector(rng, 50);
+  const Vector beta = lstsq(x, y);
+  const Vector fitted = matvec(x, beta);
+  Vector resid(50);
+  for (std::size_t i = 0; i < 50; ++i) resid[i] = y[i] - fitted[i];
+  const Vector xt_r = vecmat(resid, x);
+  for (const double v : xt_r) EXPECT_NEAR(v, 0.0, 1e-8);
+}
+
+TEST(Qr, RankDeficientDesignHandled) {
+  // Third column is the sum of the first two.
+  Matrix x(30, 3);
+  util::Rng rng(9);
+  for (std::size_t i = 0; i < 30; ++i) {
+    x(i, 0) = rng.normal();
+    x(i, 1) = rng.normal();
+    x(i, 2) = x(i, 0) + x(i, 1);
+  }
+  Vector y(30);
+  for (std::size_t i = 0; i < 30; ++i) y[i] = 2.0 * x(i, 2);
+  const QrDecomposition qr(x);
+  EXPECT_EQ(qr.rank(), 2u);
+  const Vector beta = qr.solve(y);
+  // Predictions must still be exact even though beta is not unique.
+  for (std::size_t i = 0; i < 30; ++i) {
+    EXPECT_NEAR(dot(x.row(i), beta), y[i], 1e-8);
+  }
+}
+
+TEST(Qr, RankOfIdentity) {
+  const QrDecomposition qr(Matrix::identity(5));
+  EXPECT_EQ(qr.rank(), 5u);
+}
+
+TEST(Cholesky, SolvesSpdSystem) {
+  util::Rng rng(10);
+  const Matrix a = random_matrix(rng, 6, 6);
+  Matrix spd = matmul(a.transposed(), a);
+  for (std::size_t i = 0; i < 6; ++i) spd(i, i) += 1.0;
+  const Vector b = random_vector(rng, 6);
+  const CholeskyDecomposition chol(spd);
+  const Vector x = chol.solve(b);
+  const Vector back = matvec(spd, x);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_NEAR(back[i], b[i], 1e-9);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  const Matrix not_spd{{1, 2}, {2, 1}};  // eigenvalues 3, -1
+  EXPECT_THROW(CholeskyDecomposition{not_spd}, std::runtime_error);
+}
+
+TEST(Ridge, ShrinksTowardZero) {
+  util::Rng rng(11);
+  const Matrix x = random_matrix(rng, 40, 3);
+  const Vector y = random_vector(rng, 40);
+  const Vector small_reg = ridge_solve(x, y, 1e-8);
+  const Vector big_reg = ridge_solve(x, y, 1e6);
+  EXPECT_LT(norm2(big_reg), norm2(small_reg));
+  EXPECT_LT(norm2(big_reg), 1e-3);
+}
+
+TEST(Ridge, MatchesLstsqWhenUnregularized) {
+  util::Rng rng(12);
+  const Matrix x = random_matrix(rng, 40, 4);
+  Vector y(40);
+  const Vector truth{1, -1, 2, 0.5};
+  for (std::size_t i = 0; i < 40; ++i) y[i] = dot(x.row(i), truth);
+  const Vector a = lstsq(x, y);
+  const Vector b = ridge_solve(x, y, 0.0);
+  for (std::size_t j = 0; j < 4; ++j) EXPECT_NEAR(a[j], b[j], 1e-7);
+}
+
+// Property sweep: QR solve matches Cholesky-based normal equations on
+// random well-conditioned problems of varying size.
+class QrVsNormalEquations : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(QrVsNormalEquations, Agree) {
+  util::Rng rng(100 + GetParam());
+  const std::size_t n = 20 + 7 * GetParam();
+  const std::size_t p = 3 + GetParam() % 5;
+  const Matrix x = random_matrix(rng, n, p);
+  const Vector y = random_vector(rng, n);
+  const Vector qr_beta = lstsq(x, y);
+  const Vector ne_beta = ridge_solve(x, y, 0.0);
+  for (std::size_t j = 0; j < p; ++j) EXPECT_NEAR(qr_beta[j], ne_beta[j], 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, QrVsNormalEquations,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 6, 7));
+
+}  // namespace
+}  // namespace ffr::linalg

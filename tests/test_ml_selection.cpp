@@ -1,0 +1,221 @@
+// Tests for model selection and hyperparameter search: fold invariants,
+// stratification, the training-size protocol, learning curves, random+grid
+// search reproducibility.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ml/knn.hpp"
+#include "ml/linear.hpp"
+#include "ml/model_selection.hpp"
+#include "ml/search.hpp"
+#include "ml/svr.hpp"
+#include "util/rng.hpp"
+
+namespace ffr::ml {
+namespace {
+
+struct Problem {
+  Matrix x;
+  Vector y;
+};
+
+Problem make_problem(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Problem p;
+  p.x = Matrix(n, 3);
+  p.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < 3; ++c) p.x(i, c) = rng.uniform(-2, 2);
+    p.y[i] = std::abs(p.x(i, 0)) + 0.5 * p.x(i, 1) * p.x(i, 2);
+  }
+  return p;
+}
+
+TEST(SplitTools, TrainTestSplitPartitions) {
+  const Split split = train_test_split(100, 0.3, 1);
+  EXPECT_EQ(split.train.size(), 30u);
+  EXPECT_EQ(split.test.size(), 70u);
+  std::set<std::size_t> all(split.train.begin(), split.train.end());
+  all.insert(split.test.begin(), split.test.end());
+  EXPECT_EQ(all.size(), 100u);
+}
+
+TEST(SplitTools, TrainTestSplitRejectsBadFraction) {
+  EXPECT_THROW((void)train_test_split(10, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW((void)train_test_split(10, 1.0, 1), std::invalid_argument);
+}
+
+TEST(SplitTools, KFoldCoversEveryRowExactlyOnce) {
+  const auto splits = k_fold(53, 10, 2);
+  ASSERT_EQ(splits.size(), 10u);
+  std::vector<int> test_hits(53, 0);
+  for (const Split& split : splits) {
+    EXPECT_EQ(split.train.size() + split.test.size(), 53u);
+    for (const std::size_t i : split.test) ++test_hits[i];
+    // Train and test are disjoint.
+    std::set<std::size_t> train_set(split.train.begin(), split.train.end());
+    for (const std::size_t i : split.test) EXPECT_EQ(train_set.count(i), 0u);
+  }
+  for (const int hits : test_hits) EXPECT_EQ(hits, 1);
+}
+
+TEST(SplitTools, StratifiedFoldsBalanceTargetRange) {
+  // Bimodal target: half ~0, half ~1 (like FDR distributions).
+  util::Rng rng(3);
+  Vector y(200);
+  for (std::size_t i = 0; i < 200; ++i) y[i] = i < 100 ? rng.uniform(0, 0.05)
+                                                       : rng.uniform(0.9, 1.0);
+  const auto splits = stratified_k_fold(y, 10, 4);
+  for (const Split& split : splits) {
+    std::size_t high = 0;
+    for (const std::size_t i : split.test) high += y[i] > 0.5;
+    // Each fold's test set (20 rows) should hold ~10 of each mode.
+    EXPECT_NEAR(static_cast<double>(high), 10.0, 2.0);
+  }
+  // Coverage invariant as for plain k-fold.
+  std::vector<int> hits(200, 0);
+  for (const Split& split : splits) {
+    for (const std::size_t i : split.test) ++hits[i];
+  }
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(CrossValidate, PerfectModelScoresPerfectly) {
+  // Linear model on exactly linear data: R2 = 1 in every fold.
+  util::Rng rng(5);
+  Matrix x(80, 2);
+  Vector y(80);
+  for (std::size_t i = 0; i < 80; ++i) {
+    x(i, 0) = rng.uniform(-1, 1);
+    x(i, 1) = rng.uniform(-1, 1);
+    y[i] = 3 * x(i, 0) - x(i, 1) + 2;
+  }
+  const auto splits = k_fold(80, 5, 6);
+  LinearLeastSquares prototype;
+  const CrossValidationResult cv = cross_validate(prototype, x, y, splits);
+  EXPECT_NEAR(cv.mean_test.r2, 1.0, 1e-9);
+  EXPECT_NEAR(cv.mean_train.r2, 1.0, 1e-9);
+  EXPECT_NEAR(cv.r2_test_stddev, 0.0, 1e-9);
+  EXPECT_EQ(cv.folds.size(), 5u);
+}
+
+TEST(CrossValidate, TrainingSizeLimitsSamples) {
+  const Problem p = make_problem(100, 7);
+  const auto splits = k_fold(100, 5, 8);
+  KnnRegressor prototype(3, 2.0, KnnWeights::kDistance);
+  // 20% training size: each fold trains on ~20 samples although 80 available.
+  const CrossValidationResult cv =
+      cross_validate(prototype, p.x, p.y, splits, 0.2);
+  // The protocol ran; scores are defined and training R2 is high for k-NN.
+  EXPECT_GT(cv.mean_train.r2, 0.9);
+}
+
+TEST(CrossValidate, MoreTrainingDataHelps) {
+  const Problem p = make_problem(300, 9);
+  const auto splits = k_fold(300, 5, 10);
+  KnnRegressor prototype(3, 2.0, KnnWeights::kDistance);
+  const double r2_small =
+      cross_validate(prototype, p.x, p.y, splits, 0.05).mean_test.r2;
+  const double r2_large =
+      cross_validate(prototype, p.x, p.y, splits, 0.8).mean_test.r2;
+  EXPECT_GT(r2_large, r2_small);
+}
+
+TEST(LearningCurve, MonotoneImprovementAndSaturation) {
+  const Problem p = make_problem(400, 11);
+  const auto splits = k_fold(400, 5, 12);
+  KnnRegressor prototype(3, 2.0, KnnWeights::kDistance);
+  const std::vector<double> fractions{0.05, 0.2, 0.5, 0.8};
+  const auto curve = learning_curve(prototype, p.x, p.y, fractions, splits);
+  ASSERT_EQ(curve.size(), 4u);
+  EXPECT_GT(curve.back().test_r2_mean, curve.front().test_r2_mean);
+  // Saturation: the 0.5 -> 0.8 gain is much smaller than 0.05 -> 0.2.
+  const double early_gain = curve[1].test_r2_mean - curve[0].test_r2_mean;
+  const double late_gain = curve[3].test_r2_mean - curve[2].test_r2_mean;
+  EXPECT_LT(late_gain, early_gain);
+  // Train sample counts follow the fractions (of the full dataset).
+  EXPECT_EQ(curve[1].train_samples, 80u);
+  EXPECT_EQ(curve[2].train_samples, 200u);
+}
+
+TEST(Search, RandomSearchFindsGoodGamma) {
+  const Problem p = make_problem(150, 13);
+  const auto splits = k_fold(150, 4, 14);
+  SvrConfig base;
+  base.c = 10;
+  base.epsilon = 0.05;
+  SvrRegressor prototype(base);
+  const std::vector<ParamRange> ranges{
+      {.name = "gamma", .lo = 1e-3, .hi = 10.0, .log_scale = true}};
+  const SearchResult result =
+      random_search(prototype, p.x, p.y, ranges, 8, splits);
+  EXPECT_EQ(result.evaluated.size(), 8u);
+  EXPECT_GT(result.best.score, 0.5);
+  // Best must be the max of the evaluated scores.
+  for (const auto& cand : result.evaluated) {
+    EXPECT_LE(cand.score, result.best.score);
+  }
+}
+
+TEST(Search, RandomSearchDeterministicForSeed) {
+  const Problem p = make_problem(80, 15);
+  const auto splits = k_fold(80, 4, 16);
+  KnnRegressor prototype;
+  const std::vector<ParamRange> ranges{
+      {.name = "k", .lo = 1, .hi = 15, .integer = true}};
+  const SearchResult a =
+      random_search(prototype, p.x, p.y, ranges, 5, splits, 1.0, 42);
+  const SearchResult b =
+      random_search(prototype, p.x, p.y, ranges, 5, splits, 1.0, 42);
+  ASSERT_EQ(a.evaluated.size(), b.evaluated.size());
+  for (std::size_t i = 0; i < a.evaluated.size(); ++i) {
+    EXPECT_EQ(a.evaluated[i].params, b.evaluated[i].params);
+    EXPECT_DOUBLE_EQ(a.evaluated[i].score, b.evaluated[i].score);
+  }
+}
+
+TEST(Search, GridSearchEnumeratesFullGrid) {
+  const Problem p = make_problem(60, 17);
+  const auto splits = k_fold(60, 3, 18);
+  KnnRegressor prototype;
+  const std::vector<GridAxis> grid{{"k", {1, 3, 5}}, {"weights", {0, 1}}};
+  const SearchResult result = grid_search(prototype, p.x, p.y, grid, splits);
+  EXPECT_EQ(result.evaluated.size(), 6u);
+  std::set<std::pair<double, double>> seen;
+  for (const auto& cand : result.evaluated) {
+    seen.insert({cand.params.at("k"), cand.params.at("weights")});
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(Search, RandomThenGridRefines) {
+  const Problem p = make_problem(120, 19);
+  const auto splits = k_fold(120, 4, 20);
+  KnnRegressor prototype(5, 2.0, KnnWeights::kDistance);
+  const std::vector<ParamRange> ranges{
+      {.name = "k", .lo = 1, .hi = 20, .integer = true}};
+  const SearchResult result = random_then_grid_search(prototype, p.x, p.y, ranges,
+                                                      6, 5, splits);
+  // The two-stage search must be at least as good as its random stage alone.
+  const SearchResult random_only =
+      random_search(prototype, p.x, p.y, ranges, 6, splits);
+  EXPECT_GE(result.best.score, random_only.best.score - 1e-12);
+  EXPECT_GT(result.evaluated.size(), random_only.evaluated.size());
+}
+
+TEST(Search, EmptyInputsRejected) {
+  const Problem p = make_problem(30, 21);
+  const auto splits = k_fold(30, 3, 22);
+  KnnRegressor prototype;
+  EXPECT_THROW(
+      (void)random_search(prototype, p.x, p.y, {}, 5, splits),
+      std::invalid_argument);
+  const std::vector<GridAxis> empty_axis{{"k", {}}};
+  EXPECT_THROW((void)grid_search(prototype, p.x, p.y, empty_axis, splits),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ffr::ml

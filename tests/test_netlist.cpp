@@ -1,0 +1,203 @@
+// Unit tests for src/netlist: cell library semantics, netlist invariants,
+// builder helpers, topological ordering, Verilog export.
+
+#include <gtest/gtest.h>
+
+#include "netlist/builder.hpp"
+#include "netlist/cell_library.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/verilog_writer.hpp"
+
+namespace ffr::netlist {
+namespace {
+
+TEST(CellLibrary, NumInputsMatchesEvaluateContract) {
+  const bool in4[] = {true, false, true, true};
+  for (const auto& cell : default_library().cells()) {
+    if (is_sequential(cell.func)) continue;
+    const std::span<const bool> inputs(in4, num_inputs(cell.func));
+    EXPECT_NO_THROW((void)evaluate(cell.func, inputs)) << cell.name;
+  }
+}
+
+TEST(CellLibrary, BasicGateTruth) {
+  const bool tt[] = {true, true};
+  const bool tf[] = {true, false};
+  const bool ff[] = {false, false};
+  EXPECT_TRUE(evaluate(CellFunc::kAnd2, tt));
+  EXPECT_FALSE(evaluate(CellFunc::kAnd2, tf));
+  EXPECT_TRUE(evaluate(CellFunc::kNand2, tf));
+  EXPECT_TRUE(evaluate(CellFunc::kNor2, ff));
+  EXPECT_TRUE(evaluate(CellFunc::kXor2, tf));
+  EXPECT_FALSE(evaluate(CellFunc::kXnor2, tf));
+}
+
+TEST(CellLibrary, Mux2SelectsCorrectInput) {
+  const bool sel0[] = {true, false, false};  // A=1, B=0, S=0 -> A
+  const bool sel1[] = {true, false, true};   // S=1 -> B
+  EXPECT_TRUE(evaluate(CellFunc::kMux2, sel0));
+  EXPECT_FALSE(evaluate(CellFunc::kMux2, sel1));
+}
+
+TEST(CellLibrary, Aoi21Oai21Truth) {
+  for (int a1 = 0; a1 < 2; ++a1) {
+    for (int a2 = 0; a2 < 2; ++a2) {
+      for (int b = 0; b < 2; ++b) {
+        const bool in[] = {a1 != 0, a2 != 0, b != 0};
+        EXPECT_EQ(evaluate(CellFunc::kAoi21, in), !((a1 && a2) || b));
+        EXPECT_EQ(evaluate(CellFunc::kOai21, in), !((a1 || a2) && b));
+      }
+    }
+  }
+}
+
+TEST(CellLibrary, LookupByNameAndDrive) {
+  const CellLibrary& lib = default_library();
+  const LibraryCell& nand_x2 = lib.lookup(CellFunc::kNand2, DriveStrength::kX2);
+  EXPECT_EQ(nand_x2.name, "NAND2_X2");
+  EXPECT_NE(lib.find_by_name("DFF_X1"), nullptr);
+  EXPECT_EQ(lib.find_by_name("NOPE_X9"), nullptr);
+  EXPECT_GT(lib.lookup(CellFunc::kDff, DriveStrength::kX4).area_um2,
+            lib.lookup(CellFunc::kDff, DriveStrength::kX1).area_um2);
+}
+
+TEST(Netlist, DuplicateNetNameRejected) {
+  Netlist nl("t");
+  (void)nl.add_net("n1");
+  EXPECT_THROW((void)nl.add_net("n1"), std::runtime_error);
+}
+
+TEST(Netlist, MultipleDriversRejected) {
+  NetlistBuilder bld("t");
+  const NetId a = bld.input("a");
+  const NetId w = bld.forward_wire("w");
+  bld.bind_forward_wire(w, a);
+  EXPECT_THROW(bld.bind_forward_wire(w, a), std::runtime_error);
+}
+
+TEST(Netlist, UndrivenNetDetectedAtBuild) {
+  NetlistBuilder bld("t");
+  const NetId a = bld.input("a");
+  const NetId w = bld.forward_wire("dangling");
+  bld.output(bld.and2(a, w), "y");
+  EXPECT_THROW((void)bld.build(), std::runtime_error);
+}
+
+TEST(Netlist, CombinationalCycleDetected) {
+  NetlistBuilder bld("t");
+  const NetId a = bld.input("a");
+  const NetId w = bld.forward_wire("loop");
+  const NetId g = bld.and2(a, w);
+  bld.bind_forward_wire(w, g);  // combinational loop through the AND
+  bld.output(g, "y");
+  EXPECT_THROW((void)bld.build(), std::runtime_error);
+}
+
+TEST(Netlist, SequentialLoopIsLegal) {
+  NetlistBuilder bld("t");
+  FlipFlop ff = bld.dff_loop([&](NetId q) { return bld.inv(q); }, false, "toggler");
+  bld.output(ff.q, "y");
+  const Netlist nl = bld.build();
+  EXPECT_EQ(nl.num_flip_flops(), 1u);
+}
+
+TEST(Netlist, TopoOrderRespectsDependencies) {
+  NetlistBuilder bld("t");
+  const NetId a = bld.input("a");
+  const NetId b = bld.input("b");
+  const NetId x = bld.and2(a, b);
+  const NetId y = bld.or2(x, a);
+  const NetId z = bld.xor2(y, x);
+  bld.output(z, "z");
+  const Netlist nl = bld.build();
+  std::vector<std::size_t> position(nl.num_cells(), 0);
+  for (std::size_t i = 0; i < nl.topo_order().size(); ++i) {
+    position[nl.topo_order()[i]] = i;
+  }
+  for (const CellId id : nl.topo_order()) {
+    for (const NetId in : nl.cell(id).inputs) {
+      const CellId driver = nl.net(in).driver;
+      if (driver != kNoCell && !is_sequential(nl.cell(driver).func)) {
+        EXPECT_LT(position[driver], position[id]);
+      }
+    }
+  }
+}
+
+TEST(Netlist, BusRegistrationAndLookup) {
+  NetlistBuilder bld("t");
+  const auto d = bld.input_bus("d", 4);
+  const auto ffs = bld.register_bus("r", d, 0b1010);
+  bld.output_bus(NetlistBuilder::q_nets(ffs), "q");
+  const Netlist nl = bld.build();
+  ASSERT_EQ(nl.register_buses().size(), 1u);
+  EXPECT_EQ(nl.register_buses()[0].name, "r");
+  const auto bus = nl.bus_of(ffs[2].cell);
+  ASSERT_TRUE(bus.has_value());
+  EXPECT_EQ(bus->second, 2u);
+  // Init values follow the literal.
+  EXPECT_FALSE(nl.cell(ffs[0].cell).init_value);
+  EXPECT_TRUE(nl.cell(ffs[1].cell).init_value);
+}
+
+TEST(Netlist, ConstantsAreCached) {
+  NetlistBuilder bld("t");
+  const NetId c1 = bld.constant(true);
+  const NetId c2 = bld.constant(true);
+  const NetId c3 = bld.constant(false);
+  EXPECT_EQ(c1, c2);
+  EXPECT_NE(c1, c3);
+}
+
+TEST(Netlist, DriveStrengthAssignedByFanout) {
+  NetlistBuilder bld("t");
+  const NetId a = bld.input("a");
+  const NetId b = bld.input("b");
+  const NetId hot = bld.and2(a, b);  // will fan out to 10 readers
+  std::vector<NetId> outs;
+  for (int i = 0; i < 10; ++i) outs.push_back(bld.inv(hot));
+  bld.output(bld.or_reduce(outs), "y");
+  const Netlist nl = bld.build();
+  const CellId hot_cell = nl.net(hot).driver;
+  EXPECT_EQ(nl.cell(hot_cell).drive, DriveStrength::kX4);
+}
+
+TEST(Netlist, SummaryMentionsCounts) {
+  NetlistBuilder bld("top_x");
+  const NetId a = bld.input("a");
+  FlipFlop ff = bld.dff(a, false, "r0");
+  bld.output(ff.q, "y");
+  const Netlist nl = bld.build();
+  const std::string s = nl.summary();
+  EXPECT_NE(s.find("top_x"), std::string::npos);
+  EXPECT_NE(s.find("1 FFs"), std::string::npos);
+}
+
+TEST(Netlist, FindCellAndNet) {
+  NetlistBuilder bld("t");
+  const NetId a = bld.input("alpha");
+  FlipFlop ff = bld.dff(a, false, "myreg");
+  bld.output(ff.q, "y");
+  const Netlist nl = bld.build();
+  EXPECT_TRUE(nl.find_cell("myreg").has_value());
+  EXPECT_TRUE(nl.find_net("alpha").has_value());
+  EXPECT_FALSE(nl.find_cell("ghost").has_value());
+}
+
+TEST(Verilog, EmitsModuleWithPortsAndInstances) {
+  NetlistBuilder bld("tiny");
+  const NetId a = bld.input("a");
+  const NetId b = bld.input("b");
+  FlipFlop ff = bld.dff(bld.and2(a, b), false, "r0");
+  bld.output(ff.q, "y");
+  const Netlist nl = bld.build();
+  const std::string v = to_verilog(nl);
+  EXPECT_NE(v.find("module tiny"), std::string::npos);
+  EXPECT_NE(v.find("AND2_X1"), std::string::npos);
+  EXPECT_NE(v.find("DFF_X1"), std::string::npos);
+  EXPECT_NE(v.find(".CK(clk)"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ffr::netlist

@@ -1,0 +1,193 @@
+// Tests for the second evaluation circuit (pipeline_core): golden behaviour
+// against a software model of the datapath, latency, fault sensitivity of
+// the accumulator (long error retention) vs transient stage registers.
+
+#include <gtest/gtest.h>
+
+#include "circuits/pipeline_core.hpp"
+#include "fault/campaign.hpp"
+#include "sim/runner.hpp"
+
+namespace ffr::circuits {
+namespace {
+
+// Software model of the pipeline datapath (4-stage configuration).
+std::vector<std::uint8_t> model_pipeline(std::span<const std::uint8_t> bytes,
+                                         std::uint16_t key) {
+  std::vector<std::uint8_t> out;
+  std::uint16_t acc = 0;
+  std::uint16_t rotating_key = key;
+  for (const std::uint8_t byte : bytes) {
+    // Stage 2 uses the key value at the time the byte occupies stage 1...
+    // The RTL rotates the key on every accepted input byte; stage 2 reads
+    // the *rotated* key (rotation happens at the same tick that moves the
+    // byte into stage 2).
+    rotating_key = static_cast<std::uint16_t>((rotating_key >> 1) |
+                                              ((rotating_key & 1u) << 15));
+    const std::uint8_t mixed =
+        static_cast<std::uint8_t>((byte ^ (rotating_key & 0xFF)) + 0x5D);
+    // Stage 3 accumulates the stage-2 output; stage 4 reads the accumulator
+    // value *before* this byte is added (acc register updates at the tick
+    // that also moves the byte into stage 4).
+    const std::uint8_t out_byte = static_cast<std::uint8_t>(mixed ^ (acc & 0xFF));
+    acc = static_cast<std::uint16_t>(acc + mixed);
+    out.push_back(out_byte);
+  }
+  return out;
+}
+
+TEST(PipelineCore, BuildsWithExpectedPorts) {
+  const PipelineCore core = build_pipeline_core();
+  EXPECT_EQ(core.in_data.size(), 8u);
+  EXPECT_EQ(core.out_data.size(), 8u);
+  EXPECT_EQ(core.out_sum.size(), 16u);
+  EXPECT_GT(core.netlist.num_flip_flops(), 50u);
+}
+
+TEST(PipelineCore, GoldenMatchesSoftwareModel) {
+  const PipelineCore core = build_pipeline_core();
+  const PipelineTestbench bench = build_pipeline_testbench(core, 40, 0.6, 0x1234);
+  const sim::GoldenResult golden = sim::run_golden(core.netlist, bench.tb);
+  ASSERT_GE(golden.frames.size(), bench.sent_bytes.size());
+  // The model needs the loaded key; reconstruct it from the testbench rng —
+  // instead, verify structural properties: byte count matches and the
+  // transform is a bijection per position (distinct inputs at the same acc
+  // state give distinct outputs). Cross-check the exact bytes with the
+  // model using the key recovered from the key register via the sum taps is
+  // overkill; instead rebuild the testbench with a known key.
+  EXPECT_EQ(golden.frames.size(), bench.sent_bytes.size());
+}
+
+TEST(PipelineCore, ExactBytesWithKnownKey) {
+  // Drive the core manually with a known key and byte sequence, compare
+  // against the software model byte-for-byte.
+  const PipelineCore core = build_pipeline_core();
+  const auto& nl = core.netlist;
+  const auto pi = [&](netlist::NetId net) {
+    return static_cast<std::size_t>(nl.net(net).pi_index);
+  };
+  const std::uint16_t key = 0xC3A5;
+  const std::vector<std::uint8_t> bytes = {0x00, 0xFF, 0x12, 0x34, 0x56, 0xAB};
+
+  const std::size_t cycles = 8 + bytes.size() + 10;
+  sim::Stimulus stim(nl.primary_inputs().size(), cycles);
+  stim.set(pi(core.key_load), 1, true);
+  for (std::size_t b = 0; b < 8; ++b) {
+    stim.set(pi(core.key_data[b]), 1, ((key >> b) & 1u) != 0);
+  }
+  stim.set(pi(core.key_load), 2, true);
+  for (std::size_t b = 0; b < 8; ++b) {
+    stim.set(pi(core.key_data[b]), 2, ((key >> (8 + b)) & 1u) != 0);
+  }
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    const std::size_t c = 4 + i;
+    stim.set(pi(core.in_valid), c, true);
+    for (std::size_t b = 0; b < 8; ++b) {
+      stim.set(pi(core.in_data[b]), c, ((bytes[i] >> b) & 1u) != 0);
+    }
+  }
+  sim::Testbench tb;
+  tb.stimulus = std::move(stim);
+  tb.monitor = core.byte_monitor();
+  const auto const0 = nl.find_net("const0");
+  ASSERT_TRUE(const0.has_value());
+  tb.monitor.eop = *const0;
+  tb.monitor.err = *const0;
+  tb.inject_begin = 0;
+  tb.inject_end = cycles;
+
+  const sim::GoldenResult golden = sim::run_golden(nl, tb);
+  const std::vector<std::uint8_t> expected = model_pipeline(bytes, key);
+  ASSERT_EQ(golden.frames.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(golden.frames[i].bytes.size(), 1u);
+    EXPECT_EQ(golden.frames[i].bytes[0], expected[i]) << "byte " << i;
+  }
+}
+
+TEST(PipelineCore, AccumulatorFaultPersistenceDependsOnBitPosition) {
+  // A flip in a LOW accumulator bit corrupts (nearly) every later byte: the
+  // wrong sum is XOR-folded into each output. A flip in a HIGH accumulator
+  // bit never reaches the monitored 8-bit output (only out_sum carries it),
+  // so it is functionally benign. This is exactly the kind of per-instance
+  // difference the paper's per-flip-flop FDR captures and bus_position can
+  // help a model learn.
+  const PipelineCore core = build_pipeline_core();
+  const PipelineTestbench bench = build_pipeline_testbench(core, 48, 0.8, 7);
+  const sim::GoldenResult golden = sim::run_golden(core.netlist, bench.tb);
+  const auto& nl = core.netlist;
+
+  const auto bus_ff = [&](const std::string& name, std::size_t bit) {
+    for (const auto& bus : nl.register_buses()) {
+      if (bus.name == name) return bus.flip_flops.at(bit);
+    }
+    throw std::runtime_error("no bus " + name);
+  };
+
+  const std::uint32_t mid_cycle =
+      static_cast<std::uint32_t>(bench.tb.stimulus.num_cycles() / 2);
+  const auto corrupted = [&](const sim::FrameList& frames) {
+    std::size_t count = 0;
+    for (std::size_t f = 0; f < std::min(frames.size(), golden.frames.size());
+         ++f) {
+      count += !(frames[f] == golden.frames[f]);
+    }
+    return count;
+  };
+
+  sim::InjectionEvent low_ev{bus_ff("acc_reg", 0), mid_cycle, 0b1};
+  const auto low_run = sim::run_testbench(nl, bench.tb, {&low_ev, 1});
+  EXPECT_GT(corrupted(low_run.lane_frames[0]), 8u);
+
+  sim::InjectionEvent high_ev{bus_ff("acc_reg", 15), mid_cycle, 0b1};
+  const auto high_run = sim::run_testbench(nl, bench.tb, {&high_ev, 1});
+  EXPECT_EQ(corrupted(high_run.lane_frames[0]), 0u);
+
+  // A stage-register flip also persists *through* the accumulator (the
+  // corrupted byte is summed in), so it corrupts later frames too.
+  sim::InjectionEvent stage_ev{bus_ff("s1_data", 0), mid_cycle, 0b1};
+  const auto stage_run = sim::run_testbench(nl, bench.tb, {&stage_ev, 1});
+  EXPECT_GE(corrupted(stage_run.lane_frames[0]), 1u);
+}
+
+TEST(PipelineCore, CampaignSeparatesAccumulatorBitPositions) {
+  const PipelineCore core = build_pipeline_core();
+  const PipelineTestbench bench = build_pipeline_testbench(core, 48, 0.8, 9);
+  const sim::GoldenResult golden = sim::run_golden(core.netlist, bench.tb);
+  fault::CampaignConfig config;
+  config.injections_per_ff = 24;
+  const fault::CampaignResult campaign =
+      fault::run_campaign(core.netlist, bench.tb, golden, config);
+  // Low accumulator bits (folded into every output byte) must be far more
+  // vulnerable than high bits (only visible on the unmonitored sum port).
+  double low_sum = 0;
+  int low_n = 0;
+  double high_sum = 0;
+  int high_n = 0;
+  for (const auto& ff : campaign.per_ff) {
+    if (ff.name.rfind("acc_reg[", 0) != 0) continue;
+    const int bit = std::stoi(ff.name.substr(8));
+    if (bit < 8) {
+      low_sum += ff.fdr();
+      ++low_n;
+    } else {
+      high_sum += ff.fdr();
+      ++high_n;
+    }
+  }
+  ASSERT_EQ(low_n, 8);
+  ASSERT_EQ(high_n, 8);
+  EXPECT_GT(low_sum / low_n, 0.3);
+  EXPECT_LT(high_sum / high_n, 0.05);
+}
+
+TEST(PipelineTestbench, RejectsBadDutyCycle) {
+  const PipelineCore core = build_pipeline_core();
+  EXPECT_THROW((void)build_pipeline_testbench(core, 10, 0.0, 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)build_pipeline_testbench(core, 10, 1.5, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ffr::circuits

@@ -1,0 +1,73 @@
+// Tests for the markdown report generator.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "circuits/mac_core.hpp"
+#include "circuits/mac_testbench.hpp"
+#include "core/report.hpp"
+
+namespace ffr::core {
+namespace {
+
+struct ReportFixture : public ::testing::Test {
+  void SetUp() override {
+    circuits::MacConfig mc;
+    mc.tx_depth_log2 = 3;
+    mc.rx_depth_log2 = 3;
+    mac = circuits::build_mac_core(mc);
+    circuits::MacTestbenchConfig tbc;
+    tbc.num_frames = 2;
+    tbc.min_payload = 8;
+    tbc.max_payload = 12;
+    bench = circuits::build_mac_testbench(mac, tbc);
+    FlowConfig config;
+    config.training_size = 0.25;
+    config.injections_per_ff = 8;
+    flow = run_estimation_flow(mac.netlist, bench.tb, config);
+  }
+  circuits::MacCore mac;
+  circuits::MacTestbench bench;
+  FlowResult flow;
+};
+
+TEST_F(ReportFixture, ContainsAllSections) {
+  const std::string report = render_report(mac.netlist, flow);
+  EXPECT_NE(report.find("# Functional De-Rating report: mac_core"),
+            std::string::npos);
+  EXPECT_NE(report.find("## FDR distribution"), std::string::npos);
+  EXPECT_NE(report.find("## Most vulnerable instances"), std::string::npos);
+  EXPECT_NE(report.find("## Per-block mean FDR"), std::string::npos);
+  EXPECT_NE(report.find("injections spent"), std::string::npos);
+}
+
+TEST_F(ReportFixture, TopKRespected) {
+  ReportOptions options;
+  options.top_k = 3;
+  const std::string report = render_report(mac.netlist, flow, options);
+  EXPECT_NE(report.find("| 3 | `"), std::string::npos);
+  EXPECT_EQ(report.find("| 4 | `"), std::string::npos);
+}
+
+TEST_F(ReportFixture, MentionsKnownBlocks) {
+  const std::string report = render_report(mac.netlist, flow);
+  EXPECT_NE(report.find("`tx_fifo_mem`"), std::string::npos);
+  EXPECT_NE(report.find("`bist_lfsr`"), std::string::npos);
+}
+
+TEST_F(ReportFixture, WritesFile) {
+  const auto path = std::filesystem::temp_directory_path() / "ffr_report.md";
+  write_report(path, mac.netlist, flow);
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::ostringstream content;
+  content << file.rdbuf();
+  EXPECT_EQ(content.str(), render_report(mac.netlist, flow));
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace ffr::core

@@ -1,0 +1,438 @@
+// Tests for src/rtl: every lowered component is simulated and compared to a
+// software model (adders vs integer arithmetic, CRC gates vs the reference
+// implementation, FIFO vs std::deque, LFSR vs a bit-twiddled model, …).
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "rtl/arith.hpp"
+#include "rtl/crc.hpp"
+#include "rtl/fifo.hpp"
+#include "rtl/fsm.hpp"
+#include "rtl/sequential.hpp"
+#include "rtl/word.hpp"
+#include "sim/packed_sim.hpp"
+#include "util/rng.hpp"
+
+namespace ffr::rtl {
+namespace {
+
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::NetlistBuilder;
+using sim::PackedSimulator;
+
+// Drive a word of input nets with an integer value (broadcast to all lanes).
+void drive_word(PackedSimulator& simulator, std::span<const NetId> nets,
+                std::uint64_t value) {
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    simulator.set_input_broadcast(nets[i], ((value >> i) & 1ULL) != 0);
+  }
+}
+
+// Read a word of nets as an integer (lane 0).
+std::uint64_t read_word(const PackedSimulator& simulator,
+                        std::span<const NetId> nets) {
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    if (simulator.value_in_lane(nets[i], 0)) value |= 1ULL << i;
+  }
+  return value;
+}
+
+TEST(WordOps, ConstantWord) {
+  NetlistBuilder bld("t");
+  const Word w = constant_word(bld, 0xA5, 8);
+  bld.output_bus(w, "y");
+  const Netlist nl = bld.build();
+  PackedSimulator simulator(nl);
+  simulator.eval();
+  EXPECT_EQ(read_word(simulator, w), 0xA5u);
+}
+
+TEST(WordOps, BitwiseOpsMatchIntegers) {
+  NetlistBuilder bld("t");
+  const auto a = bld.input_bus("a", 8);
+  const auto b = bld.input_bus("b", 8);
+  const Word w_and = word_and(bld, a, b);
+  const Word w_or = word_or(bld, a, b);
+  const Word w_xor = word_xor(bld, a, b);
+  const Word w_not = word_not(bld, a);
+  const Netlist nl = bld.build();
+  PackedSimulator simulator(nl);
+  util::Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint64_t av = rng.below(256);
+    const std::uint64_t bv = rng.below(256);
+    drive_word(simulator, a, av);
+    drive_word(simulator, b, bv);
+    simulator.eval();
+    EXPECT_EQ(read_word(simulator, w_and), (av & bv));
+    EXPECT_EQ(read_word(simulator, w_or), (av | bv));
+    EXPECT_EQ(read_word(simulator, w_xor), (av ^ bv));
+    EXPECT_EQ(read_word(simulator, w_not), (~av) & 0xFF);
+  }
+}
+
+TEST(WordOps, MuxAndShift) {
+  NetlistBuilder bld("t");
+  const auto a = bld.input_bus("a", 8);
+  const auto b = bld.input_bus("b", 8);
+  const NetId sel = bld.input("sel");
+  const Word muxed = word_mux(bld, a, b, sel);
+  const Word shl2 = word_shl(bld, a, 2);
+  const Word shr3 = word_shr(bld, a, 3);
+  const Netlist nl = bld.build();
+  PackedSimulator simulator(nl);
+  drive_word(simulator, a, 0b10110101);
+  drive_word(simulator, b, 0b01001010);
+  simulator.set_input_broadcast(sel, false);
+  simulator.eval();
+  EXPECT_EQ(read_word(simulator, muxed), 0b10110101u);
+  EXPECT_EQ(read_word(simulator, shl2), (0b10110101u << 2) & 0xFF);
+  EXPECT_EQ(read_word(simulator, shr3), 0b10110101u >> 3);
+  simulator.set_input_broadcast(sel, true);
+  simulator.eval();
+  EXPECT_EQ(read_word(simulator, muxed), 0b01001010u);
+}
+
+TEST(WordOps, WidthMismatchThrows) {
+  NetlistBuilder bld("t");
+  const auto a = bld.input_bus("a", 4);
+  const auto b = bld.input_bus("b", 5);
+  EXPECT_THROW((void)word_and(bld, a, b), std::invalid_argument);
+}
+
+class AdderSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AdderSweep, MatchesIntegerAddition) {
+  const std::size_t width = GetParam();
+  NetlistBuilder bld("t");
+  const auto a = bld.input_bus("a", width);
+  const auto b = bld.input_bus("b", width);
+  const NetId cin = bld.input("cin");
+  const AdderResult sum = adder(bld, a, b, cin);
+  const Netlist nl = bld.build();
+  PackedSimulator simulator(nl);
+  util::Rng rng(width);
+  const std::uint64_t mask = (width == 64) ? ~0ULL : ((1ULL << width) - 1);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::uint64_t av = rng.below(mask + 1);
+    const std::uint64_t bv = rng.below(mask + 1);
+    const bool c = rng.bernoulli(0.5);
+    drive_word(simulator, a, av);
+    drive_word(simulator, b, bv);
+    simulator.set_input_broadcast(cin, c);
+    simulator.eval();
+    const std::uint64_t expected = av + bv + (c ? 1 : 0);
+    EXPECT_EQ(read_word(simulator, sum.sum), expected & mask);
+    EXPECT_EQ(simulator.value_in_lane(sum.carry_out, 0), ((expected >> width) & 1) != 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, AdderSweep, ::testing::Values(1, 4, 8, 16, 24));
+
+TEST(Arith, IncrementerAndComparators) {
+  NetlistBuilder bld("t");
+  const auto a = bld.input_bus("a", 6);
+  const auto b = bld.input_bus("b", 6);
+  const AdderResult inc = incrementer(bld, a);
+  const NetId eq = equals(bld, a, b);
+  const NetId lt = less_than(bld, a, b);
+  const NetId eq17 = equals_const(bld, a, 17);
+  const Netlist nl = bld.build();
+  PackedSimulator simulator(nl);
+  for (std::uint64_t av = 0; av < 64; av += 3) {
+    for (std::uint64_t bv = 0; bv < 64; bv += 5) {
+      drive_word(simulator, a, av);
+      drive_word(simulator, b, bv);
+      simulator.eval();
+      EXPECT_EQ(read_word(simulator, inc.sum), (av + 1) & 63);
+      EXPECT_EQ(simulator.value_in_lane(eq, 0), av == bv);
+      EXPECT_EQ(simulator.value_in_lane(lt, 0), av < bv);
+      EXPECT_EQ(simulator.value_in_lane(eq17, 0), av == 17);
+    }
+  }
+}
+
+TEST(Arith, SubtractorBorrow) {
+  NetlistBuilder bld("t");
+  const auto a = bld.input_bus("a", 5);
+  const auto b = bld.input_bus("b", 5);
+  const AdderResult diff = subtractor(bld, a, b);
+  const Netlist nl = bld.build();
+  PackedSimulator simulator(nl);
+  for (std::uint64_t av = 0; av < 32; av += 2) {
+    for (std::uint64_t bv = 0; bv < 32; bv += 3) {
+      drive_word(simulator, a, av);
+      drive_word(simulator, b, bv);
+      simulator.eval();
+      EXPECT_EQ(read_word(simulator, diff.sum), (av - bv) & 31);
+      EXPECT_EQ(simulator.value_in_lane(diff.carry_out, 0), av < bv);
+    }
+  }
+}
+
+TEST(Arith, DecoderOneHot) {
+  NetlistBuilder bld("t");
+  const auto a = bld.input_bus("a", 3);
+  const Word dec = decoder(bld, a);
+  const Netlist nl = bld.build();
+  PackedSimulator simulator(nl);
+  for (std::uint64_t v = 0; v < 8; ++v) {
+    drive_word(simulator, a, v);
+    simulator.eval();
+    EXPECT_EQ(read_word(simulator, dec), 1ULL << v);
+  }
+}
+
+TEST(Crc, SoftwareMatchesKnownVectors) {
+  // Standard check value: CRC-32("123456789") = 0xCBF43926.
+  const std::uint8_t msg[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(msg), 0xCBF43926u);
+  // Empty message: init ^ final = 0.
+  EXPECT_EQ(crc32({}), 0x00000000u);
+}
+
+TEST(Crc, GateLevelMatchesSoftware) {
+  NetlistBuilder bld("t");
+  const auto state_in = bld.input_bus("s", 32);
+  const auto byte_in = bld.input_bus("d", 8);
+  const Word next = crc32_byte_next(bld, state_in, byte_in);
+  const Netlist nl = bld.build();
+  PackedSimulator simulator(nl);
+  util::Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto state = static_cast<std::uint32_t>(rng());
+    const auto byte = static_cast<std::uint8_t>(rng.below(256));
+    drive_word(simulator, state_in, state);
+    drive_word(simulator, byte_in, byte);
+    simulator.eval();
+    EXPECT_EQ(read_word(simulator, next), crc32_update(state, byte));
+  }
+}
+
+TEST(Sequential, RegisterCapturesEveryCycle) {
+  NetlistBuilder bld("t");
+  const auto d = bld.input_bus("d", 8);
+  Register reg = make_register(bld, "r", d, 0x3C);
+  bld.output_bus(reg.q, "q");
+  const Netlist nl = bld.build();
+  PackedSimulator simulator(nl);
+  EXPECT_EQ(read_word(simulator, reg.q), 0x3Cu);  // init value
+  drive_word(simulator, d, 0x7E);
+  simulator.eval();
+  simulator.tick();
+  EXPECT_EQ(read_word(simulator, reg.q), 0x7Eu);
+}
+
+TEST(Sequential, RegisterEnHoldsWithoutEnable) {
+  NetlistBuilder bld("t");
+  const auto d = bld.input_bus("d", 8);
+  const NetId en = bld.input("en");
+  Register reg = make_register_en(bld, "r", d, en, 0x11);
+  const Netlist nl = bld.build();
+  PackedSimulator simulator(nl);
+  drive_word(simulator, d, 0xAB);
+  simulator.set_input_broadcast(en, false);
+  simulator.eval();
+  simulator.tick();
+  EXPECT_EQ(read_word(simulator, reg.q), 0x11u);
+  simulator.set_input_broadcast(en, true);
+  simulator.eval();
+  simulator.tick();
+  EXPECT_EQ(read_word(simulator, reg.q), 0xABu);
+}
+
+TEST(Sequential, CounterCountsAndWraps) {
+  NetlistBuilder bld("t");
+  const NetId en = bld.input("en");
+  Counter counter = make_counter(bld, "c", 3, en);
+  const Netlist nl = bld.build();
+  PackedSimulator simulator(nl);
+  simulator.set_input_broadcast(en, true);
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    simulator.eval();
+    const bool expect_wrap = (i % 8) == 0;
+    EXPECT_EQ(simulator.value_in_lane(counter.wrap, 0), expect_wrap) << i;
+    simulator.tick();
+    EXPECT_EQ(read_word(simulator, counter.reg.q), i % 8);
+  }
+  // Disabled: holds.
+  simulator.set_input_broadcast(en, false);
+  simulator.eval();
+  simulator.tick();
+  EXPECT_EQ(read_word(simulator, counter.reg.q), 10 % 8);
+}
+
+TEST(Sequential, CounterClearWinsOverEnable) {
+  NetlistBuilder bld("t");
+  const NetId en = bld.input("en");
+  const NetId clr = bld.input("clr");
+  Counter counter = make_counter_clear(bld, "c", 4, en, clr);
+  const Netlist nl = bld.build();
+  PackedSimulator simulator(nl);
+  simulator.set_input_broadcast(en, true);
+  simulator.set_input_broadcast(clr, false);
+  for (int i = 0; i < 5; ++i) {
+    simulator.eval();
+    simulator.tick();
+  }
+  EXPECT_EQ(read_word(simulator, counter.reg.q), 5u);
+  simulator.set_input_broadcast(clr, true);
+  simulator.eval();
+  simulator.tick();
+  EXPECT_EQ(read_word(simulator, counter.reg.q), 0u);
+}
+
+TEST(Sequential, ShiftRegisterShiftsLsbWard) {
+  NetlistBuilder bld("t");
+  const NetId si = bld.input("si");
+  const NetId en = bld.input("en");
+  Register reg = make_shift_register(bld, "s", 4, si, en, 0);
+  const Netlist nl = bld.build();
+  PackedSimulator simulator(nl);
+  simulator.set_input_broadcast(en, true);
+  // Shift in 1,0,1,1 (bit enters at MSB, travels toward bit 0).
+  const bool bits[] = {true, false, true, true};
+  for (const bool b : bits) {
+    simulator.set_input_broadcast(si, b);
+    simulator.eval();
+    simulator.tick();
+  }
+  // After 4 shifts the first bit is at position 0.
+  EXPECT_EQ(read_word(simulator, reg.q), 0b1101u);
+}
+
+TEST(Sequential, LfsrMatchesSoftwareModel) {
+  const std::size_t taps[] = {0, 2, 3, 5};
+  NetlistBuilder bld("t");
+  const NetId en = bld.input("en");
+  Register lfsr = make_lfsr(bld, "l", 16, taps, en, 0xACE1);
+  const Netlist nl = bld.build();
+  PackedSimulator simulator(nl);
+  simulator.set_input_broadcast(en, true);
+  std::uint64_t model = 0xACE1;
+  for (int step = 0; step < 100; ++step) {
+    EXPECT_EQ(read_word(simulator, lfsr.q), model) << "step " << step;
+    simulator.eval();
+    simulator.tick();
+    std::uint64_t fb = 0;
+    for (const std::size_t tap : taps) fb ^= (model >> tap) & 1;
+    model = (model >> 1) | (fb << 15);
+  }
+}
+
+TEST(Sequential, LfsrZeroInitRejected) {
+  const std::size_t taps[] = {0, 1};
+  NetlistBuilder bld("t");
+  const NetId en = bld.input("en");
+  EXPECT_THROW((void)make_lfsr(bld, "l", 8, taps, en, 0), std::invalid_argument);
+}
+
+TEST(Fifo, PushPopMatchesDeque) {
+  NetlistBuilder bld("t");
+  const auto din = bld.input_bus("din", 8);
+  const NetId wr = bld.input("wr");
+  const NetId rd = bld.input("rd");
+  Fifo fifo = make_fifo(bld, "f", din, 2, wr, rd);  // 4 entries
+  const Netlist nl = bld.build();
+  PackedSimulator simulator(nl);
+  util::Rng rng(5);
+  std::deque<std::uint8_t> model;
+  for (int step = 0; step < 400; ++step) {
+    const bool do_wr = rng.bernoulli(0.5);
+    const bool do_rd = rng.bernoulli(0.5);
+    const auto value = static_cast<std::uint8_t>(rng.below(256));
+    drive_word(simulator, din, value);
+    simulator.set_input_broadcast(wr, do_wr);
+    simulator.set_input_broadcast(rd, do_rd);
+    simulator.eval();
+    EXPECT_EQ(simulator.value_in_lane(fifo.empty, 0), model.empty()) << step;
+    EXPECT_EQ(simulator.value_in_lane(fifo.full, 0), model.size() == 4) << step;
+    EXPECT_EQ(read_word(simulator, fifo.occupancy), model.size()) << step;
+    if (!model.empty()) {
+      EXPECT_EQ(read_word(simulator, fifo.dout), model.front()) << step;
+    }
+    // Model the same semantics: write if not full, read if not empty.
+    const bool wrote = do_wr && model.size() < 4;
+    const bool read = do_rd && !model.empty();
+    if (read) model.pop_front();
+    if (wrote) model.push_back(value);
+    simulator.tick();
+  }
+}
+
+TEST(Fifo, SimultaneousReadWriteWhenFull) {
+  NetlistBuilder bld("t");
+  const auto din = bld.input_bus("din", 4);
+  const NetId wr = bld.input("wr");
+  const NetId rd = bld.input("rd");
+  Fifo fifo = make_fifo(bld, "f", din, 1, wr, rd);  // 2 entries
+  const Netlist nl = bld.build();
+  PackedSimulator simulator(nl);
+  // Fill.
+  simulator.set_input_broadcast(rd, false);
+  simulator.set_input_broadcast(wr, true);
+  for (std::uint64_t v = 1; v <= 2; ++v) {
+    drive_word(simulator, din, v);
+    simulator.eval();
+    simulator.tick();
+  }
+  simulator.eval();
+  EXPECT_TRUE(simulator.value_in_lane(fifo.full, 0));
+  // Read+write while full: the write is dropped (full gates it), read works.
+  drive_word(simulator, din, 3);
+  simulator.set_input_broadcast(rd, true);
+  simulator.eval();
+  simulator.tick();
+  simulator.eval();
+  EXPECT_FALSE(simulator.value_in_lane(fifo.full, 0));
+  EXPECT_EQ(read_word(simulator, fifo.dout), 2u);
+}
+
+TEST(Fsm, FollowsTransitionsWithPriority) {
+  NetlistBuilder bld("t");
+  const NetId go = bld.input("go");
+  const NetId jump = bld.input("jump");
+  FsmBuilder fsm_b(bld, "f", 3, 0);
+  fsm_b.transition(0, 1, go);
+  fsm_b.transition(0, 2, jump);  // lower priority than go
+  fsm_b.transition(1, 2, bld.constant(true));
+  fsm_b.transition(2, 0, go);
+  Fsm fsm = fsm_b.build();
+  const Netlist nl = bld.build();
+  PackedSimulator simulator(nl);
+  auto state_of = [&] {
+    simulator.eval();
+    return read_word(simulator, fsm.state);
+  };
+  EXPECT_EQ(state_of(), 0b001u);  // initial
+  // Both go and jump: go wins.
+  simulator.set_input_broadcast(go, true);
+  simulator.set_input_broadcast(jump, true);
+  simulator.eval();
+  simulator.tick();
+  EXPECT_EQ(state_of(), 0b010u);
+  // State 1 always advances to 2.
+  simulator.set_input_broadcast(go, false);
+  simulator.eval();
+  simulator.tick();
+  EXPECT_EQ(state_of(), 0b100u);
+  // Without go, state 2 holds.
+  simulator.eval();
+  simulator.tick();
+  EXPECT_EQ(state_of(), 0b100u);
+}
+
+TEST(Fsm, BuildTwiceThrows) {
+  NetlistBuilder bld("t");
+  FsmBuilder fsm_b(bld, "f", 2, 0);
+  fsm_b.transition(0, 1, bld.constant(true));
+  (void)fsm_b.build();
+  EXPECT_THROW((void)fsm_b.build(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ffr::rtl

@@ -1,0 +1,190 @@
+// Property tests for the SMO epsilon-SVR: KKT structure of the solution,
+// the epsilon-tube property, kernel identities, and behavioural monotonics
+// in C / epsilon / gamma. These pin down the optimizer beyond "R2 is high".
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/metrics.hpp"
+#include "ml/svr.hpp"
+#include "util/rng.hpp"
+
+namespace ffr::ml {
+namespace {
+
+struct Problem {
+  Matrix x;
+  Vector y;
+};
+
+Problem smooth_problem(std::size_t n, std::uint64_t seed, double noise = 0.0) {
+  util::Rng rng(seed);
+  Problem p;
+  p.x = Matrix(n, 2);
+  p.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p.x(i, 0) = rng.uniform(-2, 2);
+    p.x(i, 1) = rng.uniform(-2, 2);
+    p.y[i] = std::sin(p.x(i, 0)) + 0.5 * p.x(i, 1) + noise * rng.normal();
+  }
+  return p;
+}
+
+TEST(SvrKernels, RbfIdentities) {
+  SvrConfig config;
+  config.gamma = 0.7;
+  const SvrRegressor model(config);
+  const Vector a{1.0, 2.0, 3.0};
+  const Vector b{0.5, -1.0, 2.0};
+  // Symmetry.
+  EXPECT_DOUBLE_EQ(model.kernel(a, b), model.kernel(b, a));
+  // Self-similarity is exactly 1.
+  EXPECT_DOUBLE_EQ(model.kernel(a, a), 1.0);
+  // Bounded in (0, 1].
+  EXPECT_GT(model.kernel(a, b), 0.0);
+  EXPECT_LE(model.kernel(a, b), 1.0);
+  // Known value: ||a-b||^2 = 0.25 + 9 + 1 = 10.25.
+  EXPECT_NEAR(model.kernel(a, b), std::exp(-0.7 * 10.25), 1e-12);
+}
+
+TEST(SvrKernels, LinearAndPoly) {
+  SvrConfig lin;
+  lin.kernel = SvrKernel::kLinear;
+  const SvrRegressor linear(lin);
+  const Vector a{1.0, 2.0};
+  const Vector b{3.0, -1.0};
+  EXPECT_DOUBLE_EQ(linear.kernel(a, b), 1.0);  // dot = 3 - 2
+  SvrConfig poly;
+  poly.kernel = SvrKernel::kPoly;
+  poly.gamma = 0.5;
+  poly.poly_degree = 2;
+  const SvrRegressor quadratic(poly);
+  EXPECT_NEAR(quadratic.kernel(a, b), std::pow(0.5 * 1.0 + 1.0, 2), 1e-12);
+}
+
+TEST(SvrProperties, NonSupportPointsLieInsideTube) {
+  // Points with beta == 0 must satisfy |y - f(x)| <= epsilon (+ tol slack).
+  const Problem p = smooth_problem(150, 1);
+  SvrConfig config;
+  config.c = 10.0;
+  config.gamma = 0.5;
+  config.epsilon = 0.1;
+  SvrRegressor model(config);
+  model.fit(p.x, p.y);
+  ASSERT_LE(model.final_gap(), config.tol);
+  const Vector pred = model.predict(p.x);
+  // Count points outside the tube; they must all be support vectors, so
+  // #outside <= #SV, and most non-SV residuals are inside the tube.
+  std::size_t outside = 0;
+  for (std::size_t i = 0; i < p.y.size(); ++i) {
+    if (std::abs(p.y[i] - pred[i]) > config.epsilon + 2 * config.tol) ++outside;
+  }
+  EXPECT_LE(outside, model.num_support_vectors());
+}
+
+TEST(SvrProperties, SupportVectorCountGrowsWithSmallerEpsilon) {
+  const Problem p = smooth_problem(120, 2, 0.05);
+  std::size_t previous = 0;
+  bool first = true;
+  for (const double eps : {0.3, 0.1, 0.03, 0.01}) {
+    SvrConfig config;
+    config.c = 10.0;
+    config.gamma = 0.5;
+    config.epsilon = eps;
+    SvrRegressor model(config);
+    model.fit(p.x, p.y);
+    if (!first) EXPECT_GE(model.num_support_vectors(), previous);
+    previous = model.num_support_vectors();
+    first = false;
+  }
+}
+
+TEST(SvrProperties, TightCLimitsFit) {
+  // With C -> 0 the model degenerates toward a constant (the mean region).
+  const Problem p = smooth_problem(100, 3);
+  SvrConfig tight;
+  tight.c = 1e-4;
+  tight.gamma = 0.5;
+  tight.epsilon = 0.01;
+  SvrRegressor constrained(tight);
+  constrained.fit(p.x, p.y);
+  SvrConfig loose = tight;
+  loose.c = 50.0;
+  SvrRegressor free_model(loose);
+  free_model.fit(p.x, p.y);
+  const double constrained_r2 = r2_score(p.y, constrained.predict(p.x));
+  const double free_r2 = r2_score(p.y, free_model.predict(p.x));
+  EXPECT_GT(free_r2, constrained_r2 + 0.2);
+}
+
+TEST(SvrProperties, GammaControlsLocality) {
+  // Huge gamma -> kernel is ~identity -> train fit near-perfect but poor
+  // generalization; tiny gamma -> underfit. Moderate gamma generalizes best.
+  const Problem train = smooth_problem(150, 4);
+  const Problem test = smooth_problem(60, 5);
+  auto fit_r2 = [&](double gamma) {
+    SvrConfig config;
+    config.c = 10.0;
+    config.gamma = gamma;
+    config.epsilon = 0.01;
+    SvrRegressor model(config);
+    model.fit(train.x, train.y);
+    return std::pair{r2_score(train.y, model.predict(train.x)),
+                     r2_score(test.y, model.predict(test.x))};
+  };
+  const auto [train_huge, test_huge] = fit_r2(500.0);
+  const auto [train_mid, test_mid] = fit_r2(0.5);
+  EXPECT_GT(train_huge, 0.95);       // memorizes
+  EXPECT_GT(test_mid, test_huge);    // moderate gamma generalizes better
+  EXPECT_GT(test_mid, 0.9);
+}
+
+TEST(SvrProperties, DuplicatedTrainingPointsHandled) {
+  // eta == 0 pairs (identical rows) must not break SMO.
+  Matrix x{{1.0}, {1.0}, {1.0}, {2.0}, {2.0}, {3.0}};
+  Vector y{1.0, 1.0, 1.0, 2.0, 2.0, 3.0};
+  SvrConfig config;
+  config.c = 10.0;
+  config.gamma = 1.0;
+  config.epsilon = 0.01;
+  SvrRegressor model(config);
+  model.fit(x, y);
+  const Vector pred = model.predict(x);
+  EXPECT_NEAR(pred[0], 1.0, 0.15);
+  EXPECT_NEAR(pred[5], 3.0, 0.15);
+}
+
+TEST(SvrProperties, PredictionIsDeterministic) {
+  const Problem p = smooth_problem(80, 6);
+  SvrConfig config;
+  config.c = 5.0;
+  config.gamma = 0.3;
+  config.epsilon = 0.05;
+  SvrRegressor a(config);
+  a.fit(p.x, p.y);
+  SvrRegressor b(config);
+  b.fit(p.x, p.y);
+  const Vector pa = a.predict(p.x);
+  const Vector pb = b.predict(p.x);
+  for (std::size_t i = 0; i < pa.size(); ++i) EXPECT_DOUBLE_EQ(pa[i], pb[i]);
+}
+
+class SvrSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SvrSeedSweep, ConvergesOnRandomProblems) {
+  const Problem p = smooth_problem(90, 100 + GetParam(), 0.02);
+  SvrConfig config;
+  config.c = 8.0;
+  config.gamma = 0.4;
+  config.epsilon = 0.02;
+  SvrRegressor model(config);
+  model.fit(p.x, p.y);
+  EXPECT_LE(model.final_gap(), config.tol) << "KKT gap not closed";
+  EXPECT_GT(r2_score(p.y, model.predict(p.x)), 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SvrSeedSweep, ::testing::Range<std::uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace ffr::ml
