@@ -1,14 +1,15 @@
 #pragma once
-// A 10GE-MAC-like gate-level design standing in for the OpenCores Ethernet
-// 10GE MAC used in the paper (see DESIGN.md for the substitution argument).
-//
-// The core implements: a user TX packet interface feeding a transmit FIFO,
-// a transmit engine (preamble/SFD framing, CRC-32 FCS generation, XGMII-style
-// start/terminate control characters, inter-packet gap), a receive engine
-// (start detection, SFD hunt, CRC residue check, FCS stripping via a 4-byte
-// delay line), a receive FIFO with an end-marker convention, statistics
-// counters, a config register and a decorative BIST block. All lowered to
-// NanGate45-style gates via src/rtl.
+/// \file mac_core.hpp
+/// \brief A 10GE-MAC-like gate-level design standing in for the OpenCores Ethernet
+/// 10GE MAC used in the paper (see DESIGN.md for the substitution argument).
+///
+/// The core implements: a user TX packet interface feeding a transmit FIFO,
+/// a transmit engine (preamble/SFD framing, CRC-32 FCS generation, XGMII-style
+/// start/terminate control characters, inter-packet gap), a receive engine
+/// (start detection, SFD hunt, CRC residue check, FCS stripping via a 4-byte
+/// delay line), a receive FIFO with an end-marker convention, statistics
+/// counters, a config register and a decorative BIST block. All lowered to
+/// NanGate45-style gates via src/rtl.
 
 #include <cstdint>
 

@@ -1,15 +1,16 @@
 #pragma once
-// A second evaluation circuit: a 4-stage pipelined checksum/transform
-// datapath ("pipeline_core"). Structurally different from the MAC — no
-// FIFOs, deeper combinational stages, an accumulator loop — which makes it
-// useful for cross-circuit generalization experiments (train the model on
-// one design, predict another) and as an extra example scenario.
-//
-// Datapath: in each cycle, when `in_valid` is high, the core takes a byte,
-// (S1) registers it, (S2) xors it with a rotating key and adds a round
-// constant, (S3) accumulates it into a 16-bit running sum with
-// rotate-by-bus-position, (S4) emits the transformed byte plus a final
-// parity tag. A 16-bit accumulator with feedback gives long error retention.
+/// \file pipeline_core.hpp
+/// \brief A second evaluation circuit: a 4-stage pipelined checksum/transform
+/// datapath ("pipeline_core"). Structurally different from the MAC — no
+/// FIFOs, deeper combinational stages, an accumulator loop — which makes it
+/// useful for cross-circuit generalization experiments (train the model on
+/// one design, predict another) and as an extra example scenario.
+///
+/// Datapath: in each cycle, when `in_valid` is high, the core takes a byte,
+/// (S1) registers it, (S2) xors it with a rotating key and adds a round
+/// constant, (S3) accumulates it into a 16-bit running sum with
+/// rotate-by-bus-position, (S4) emits the transformed byte plus a final
+/// parity tag. A 16-bit accumulator with feedback gives long error retention.
 
 #include "netlist/netlist.hpp"
 #include "sim/testbench.hpp"

@@ -1,8 +1,9 @@
 #pragma once
-// Markdown report generation for estimation-flow results: the artefact a
-// safety engineer files after running the analysis — circuit census, cost
-// accounting, FDR distribution, most-vulnerable instances and per-block
-// rollups.
+/// \file report.hpp
+/// \brief Markdown report generation for estimation-flow results: the artefact a
+/// safety engineer files after running the analysis — circuit census, cost
+/// accounting, FDR distribution, most-vulnerable instances and per-block
+/// rollups.
 
 #include <filesystem>
 #include <string>

@@ -1,11 +1,15 @@
 #pragma once
-// Flat statistical fault-injection campaign (paper §IV-A): for every
-// flip-flop, N single-event upsets are injected at random cycles inside the
-// testbench's active window; each run is classified against the golden frame
-// stream and the Functional De-Rating factor is failures / injections.
-//
-// Injections are packed 64 per simulation pass (one lane per injection time),
-// so a full 947-FF x 170-injection campaign costs ~3 passes per flip-flop.
+/// \file campaign.hpp
+/// \brief Flat statistical fault-injection (SFI) campaign (paper §IV-A).
+///
+/// For every flip-flop, N single-event upsets are injected at random cycles
+/// inside the testbench's active window; each run is classified against the
+/// golden frame stream and the Functional De-Rating factor is
+/// failures / injections.
+///
+/// Injections are packed 64 per simulation pass (one lane per injection
+/// time), so a full 947-FF x 170-injection campaign costs ~3 passes per
+/// flip-flop.
 
 #include <cstdint>
 #include <filesystem>
@@ -19,22 +23,28 @@
 
 namespace ffr::fault {
 
+/// Tunables of one campaign; defaults reproduce the paper's setting.
 struct CampaignConfig {
-  std::size_t injections_per_ff = 170;  // the paper's setting
+  /// Single-event upsets injected per flip-flop (paper: 170).
+  std::size_t injections_per_ff = 170;
+  /// Seed for the per-flip-flop injection-cycle schedules.
   std::uint64_t seed = 0xFA57;
-  std::size_t num_threads = 0;  // 0 = hardware concurrency
+  /// Worker threads; 0 = hardware concurrency.
+  std::size_t num_threads = 0;
   /// Restrict the campaign to these flip-flop indices (positions within
   /// Netlist::flip_flops()). Empty = all flip-flops.
   std::vector<std::size_t> ff_subset;
 };
 
-/// Result for one flip-flop.
+/// Campaign outcome for one flip-flop.
 struct FfResult {
-  std::size_t ff_index = 0;       // position within Netlist::flip_flops()
-  std::string name;               // cell name
-  std::uint64_t injections = 0;
-  ClassCounts classes;
+  std::size_t ff_index = 0;  ///< Position within Netlist::flip_flops().
+  std::string name;          ///< Cell name of the flip-flop.
+  std::uint64_t injections = 0;  ///< Upsets injected into this flip-flop.
+  ClassCounts classes;           ///< Per-fault-class outcome counts.
 
+  /// \return Functional De-Rating factor: failures / injections
+  ///         (0 when nothing was injected).
   [[nodiscard]] double fdr() const noexcept {
     return injections == 0
                ? 0.0
@@ -43,11 +53,12 @@ struct FfResult {
   }
 };
 
+/// Aggregate campaign outcome: per-flip-flop results plus cost accounting.
 struct CampaignResult {
-  std::vector<FfResult> per_ff;
-  std::uint64_t total_injections = 0;
-  std::uint64_t total_sim_passes = 0;
-  double wall_seconds = 0.0;
+  std::vector<FfResult> per_ff;        ///< One entry per targeted flip-flop.
+  std::uint64_t total_injections = 0;  ///< Upsets injected overall.
+  std::uint64_t total_sim_passes = 0;  ///< 64-lane simulator passes used.
+  double wall_seconds = 0.0;           ///< Campaign wall-clock time.
 
   /// FDR values in per_ff order.
   [[nodiscard]] std::vector<double> fdr_vector() const;
@@ -55,11 +66,21 @@ struct CampaignResult {
   /// Circuit-level average FDR (unweighted over flip-flops).
   [[nodiscard]] double mean_fdr() const;
 
+  /// Persists the per-flip-flop results as CSV.
   void save_csv(const std::filesystem::path& path) const;
+  /// Loads a result previously written by save_csv().
+  /// \throws std::runtime_error on a missing or malformed file.
   [[nodiscard]] static CampaignResult load_csv(const std::filesystem::path& path);
 };
 
-/// Runs the campaign. The golden result must come from the same testbench.
+/// Runs the campaign.
+///
+/// \param nl     Finalized netlist whose flip-flops are targeted.
+/// \param tb     Testbench providing stimulus and the injection window.
+/// \param golden Golden run of the SAME testbench on the SAME netlist;
+///               fault runs are classified against its frame stream.
+/// \param config Campaign tunables (injection count, seed, threads, subset).
+/// \return Per-flip-flop FDR measurements plus cost accounting.
 [[nodiscard]] CampaignResult run_campaign(const netlist::Netlist& nl,
                                           const sim::Testbench& tb,
                                           const sim::GoldenResult& golden,

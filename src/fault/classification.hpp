@@ -1,10 +1,11 @@
 #pragma once
-// Failure classification for fault-injection runs: compares the frame stream
-// observed at the packet interface against the golden reference and assigns
-// one of the paper's fault classes. The Functional De-Rating criterion
-// (§IV-A) counts a run as a functional failure "when the final received
-// packages contained payload corruption or the circuit stopped sending or
-// receiving data"; every class except kOk meets it.
+/// \file classification.hpp
+/// \brief Failure classification for fault-injection runs: compares the frame stream
+/// observed at the packet interface against the golden reference and assigns
+/// one of the paper's fault classes. The Functional De-Rating criterion
+/// (§IV-A) counts a run as a functional failure "when the final received
+/// packages contained payload corruption or the circuit stopped sending or
+/// receiving data"; every class except kOk meets it.
 
 #include <array>
 #include <cstdint>

@@ -1,7 +1,8 @@
 #pragma once
-// Assembles the per-flip-flop feature matrix (paper §III-B) from the netlist
-// graph (structural), cell attributes (synthesis) and the golden-run
-// activity trace (dynamic).
+/// \file extractor.hpp
+/// \brief Assembles the per-flip-flop feature matrix (paper §III-B) from the netlist
+/// graph (structural), cell attributes (synthesis) and the golden-run
+/// activity trace (dynamic).
 
 #include <filesystem>
 

@@ -1,6 +1,7 @@
 #pragma once
-// The per-flip-flop feature set of paper §III-B: structural features from
-// the netlist graph, synthesis attributes, and dynamic signal activity.
+/// \file feature_set.hpp
+/// \brief The per-flip-flop feature set of paper §III-B: structural features from
+/// the netlist graph, synthesis attributes, and dynamic signal activity.
 
 #include <array>
 #include <cstddef>

@@ -1,11 +1,12 @@
 #pragma once
-// Flip-flop-level graph view of a netlist plus the shortest-path machinery
-// (the paper converts the gate-level netlist into a graph and runs graph
-// algorithms such as Dijkstra's on it, §III-B).
-//
-// Nodes are flip-flops; an edge A -> B exists when A's Q reaches B's D
-// through combinational logic only (one sequential "stage"). Primary inputs
-// and outputs attach as source/sink adjacency lists.
+/// \file graph.hpp
+/// \brief Flip-flop-level graph view of a netlist plus the shortest-path machinery
+/// (the paper converts the gate-level netlist into a graph and runs graph
+/// algorithms such as Dijkstra's on it, §III-B).
+///
+/// Nodes are flip-flops; an edge A -> B exists when A's Q reaches B's D
+/// through combinational logic only (one sequential "stage"). Primary inputs
+/// and outputs attach as source/sink adjacency lists.
 
 #include <cstdint>
 #include <limits>

@@ -1,9 +1,10 @@
 #pragma once
-// Numerical factorizations used by the ML models:
-//  - Householder QR with column pivoting -> rank-revealing least squares
-//    (backs LinearLeastSquares, matching scipy.linalg.lstsq behaviour on
-//    rank-deficient designs closely enough for this problem size)
-//  - Cholesky -> ridge normal equations and SPD solves.
+/// \file decompositions.hpp
+/// \brief Numerical factorizations used by the ML models:
+/// - Householder QR with column pivoting -> rank-revealing least squares
+/// (backs LinearLeastSquares, matching scipy.linalg.lstsq behaviour on
+/// rank-deficient designs closely enough for this problem size)
+/// - Cholesky -> ridge normal equations and SPD solves.
 
 #include "linalg/matrix.hpp"
 

@@ -1,7 +1,8 @@
 #pragma once
-// Dense row-major matrix/vector types backing the from-scratch ML library.
-// Deliberately small: the paper's workloads are ~1000 samples x ~25 features,
-// so clarity and correctness beat BLAS-level performance here.
+/// \file matrix.hpp
+/// \brief Dense row-major matrix/vector types backing the from-scratch ML library.
+/// Deliberately small: the paper's workloads are ~1000 samples x ~25 features,
+/// so clarity and correctness beat BLAS-level performance here.
 
 #include <cstddef>
 #include <initializer_list>

@@ -1,6 +1,7 @@
 #pragma once
-// The paper's five regression evaluation metrics (§III-C): MAE, MAX, RMSE,
-// Explained Variance and R². Definitions match scikit-learn.
+/// \file metrics.hpp
+/// \brief The paper's five regression evaluation metrics (§III-C): MAE, MAX, RMSE,
+/// Explained Variance and R². Definitions match scikit-learn.
 
 #include <span>
 #include <string>

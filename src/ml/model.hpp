@@ -1,7 +1,14 @@
 #pragma once
-// Regressor interface for the from-scratch ML library. Mirrors the slice of
-// scikit-learn the paper uses: fit/predict plus uniform hyperparameter
-// access so random/grid search can drive any model generically.
+/// \file model.hpp
+/// \brief Regressor interface for the from-scratch ML library.
+///
+/// Mirrors the slice of scikit-learn the paper uses: fit/predict plus
+/// uniform hyperparameter access so random/grid search can drive any model
+/// generically. Concrete models: LinearLeastSquares (linear.hpp),
+/// KnnRegressor (knn.hpp), SvrRegressor (svr.hpp), the tree ensembles
+/// (tree.hpp) and the scaler+model Pipeline (pipeline.hpp); the model zoo
+/// (model_zoo.hpp) constructs them by name with the paper's tuned
+/// configurations.
 
 #include <map>
 #include <memory>
@@ -20,31 +27,39 @@ using linalg::Vector;
 /// small integers (documented per model).
 using ParamMap = std::map<std::string, double, std::less<>>;
 
+/// Abstract base class of every regression model in the library.
 class Regressor {
  public:
   virtual ~Regressor() = default;
 
-  /// Fit on rows of X against targets y. Throws std::invalid_argument on
-  /// shape mismatch or empty data.
+  /// Fits the model on rows of \p x against targets \p y.
+  /// \param x Design matrix, one sample per row.
+  /// \param y Targets, one per row of \p x.
+  /// \throws std::invalid_argument on shape mismatch or empty data.
   virtual void fit(const Matrix& x, std::span<const double> y) = 0;
 
-  /// Predict one value per row of X. Requires a prior fit().
+  /// Predicts one value per row of \p x.
+  /// \pre fit() has been called (see is_fitted()).
   [[nodiscard]] virtual Vector predict(const Matrix& x) const = 0;
 
-  /// Deep copy (fitted state included).
+  /// \return A deep copy, fitted state included.
   [[nodiscard]] virtual std::unique_ptr<Regressor> clone() const = 0;
 
+  /// \return A short human-readable model name (e.g. "knn", "svr").
   [[nodiscard]] virtual std::string name() const = 0;
 
-  /// Set hyperparameters; unknown keys throw std::invalid_argument.
+  /// Sets hyperparameters by name (see ParamMap for the encoding).
+  /// \throws std::invalid_argument on unknown keys.
   virtual void set_params(const ParamMap& params) {
     if (!params.empty()) {
       throw std::invalid_argument(name() + " has no hyperparameters");
     }
   }
 
+  /// \return The current hyperparameter values, by name.
   [[nodiscard]] virtual ParamMap get_params() const { return {}; }
 
+  /// \return Whether fit() has completed, i.e. predict() may be called.
   [[nodiscard]] virtual bool is_fitted() const noexcept = 0;
 
  protected:

@@ -1,7 +1,8 @@
 #pragma once
-// Train/test splitting, (stratified) K-fold cross validation, the paper's
-// evaluation protocol (train on a fraction, evaluate on the rest, averaged
-// over folds) and learning curves (Figs. 2b/3b/4b).
+/// \file model_selection.hpp
+/// \brief Train/test splitting, (stratified) K-fold cross validation, the paper's
+/// evaluation protocol (train on a fraction, evaluate on the rest, averaged
+/// over folds) and learning curves (Figs. 2b/3b/4b).
 
 #include <cstdint>
 

@@ -1,6 +1,7 @@
 #pragma once
-// Named model factory with the paper's tuned configurations, so benches,
-// examples and the estimation flow can request models uniformly.
+/// \file model_zoo.hpp
+/// \brief Named model factory with the paper's tuned configurations, so benches,
+/// examples and the estimation flow can request models uniformly.
 
 #include <memory>
 #include <string_view>

@@ -67,7 +67,7 @@ class DecisionTreeRegressor final : public Regressor {
 
 struct ForestConfig {
   std::size_t n_estimators = 50;
-  TreeConfig tree;             // per-tree limits
+  TreeConfig tree{};           // per-tree limits
   double max_features_frac = 0.6;  // features per split
   std::uint64_t seed = 7;
 };

@@ -1,6 +1,7 @@
 #pragma once
-// Fluent construction API for gate-level netlists. The RTL lowering library
-// (src/rtl) and circuit generators (src/circuits) are written against this.
+/// \file builder.hpp
+/// \brief Fluent construction API for gate-level netlists. The RTL lowering library
+/// (src/rtl) and circuit generators (src/circuits) are written against this.
 
 #include <span>
 #include <string>

@@ -1,8 +1,9 @@
 #pragma once
-// Standard-cell library modelled on the NanGate FreePDK45 Open Cell Library
-// (the library the paper synthesizes the 10GE MAC against). Only the
-// properties the methodology consumes are modelled: the boolean function,
-// pin count, drive strength and a representative area.
+/// \file cell_library.hpp
+/// \brief Standard-cell library modelled on the NanGate FreePDK45 Open Cell Library
+/// (the library the paper synthesizes the 10GE MAC against). Only the
+/// properties the methodology consumes are modelled: the boolean function,
+/// pin count, drive strength and a representative area.
 
 #include <cstdint>
 #include <span>

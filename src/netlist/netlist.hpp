@@ -1,8 +1,9 @@
 #pragma once
-// Gate-level netlist representation: cells connected by single-driver nets,
-// with primary I/O ports, register buses and a single implicit clock domain.
-// This is the substrate everything else operates on — simulation, fault
-// injection and feature extraction.
+/// \file netlist.hpp
+/// \brief Gate-level netlist representation: cells connected by single-driver nets,
+/// with primary I/O ports, register buses and a single implicit clock domain.
+/// This is the substrate everything else operates on — simulation, fault
+/// injection and feature extraction.
 
 #include <cstdint>
 #include <limits>

@@ -1,7 +1,8 @@
 #pragma once
-// Structural Verilog export of a netlist (NanGate45-style instance names).
-// Useful for inspecting generated designs with external tools and for
-// documenting exactly what circuit a campaign ran against.
+/// \file verilog_writer.hpp
+/// \brief Structural Verilog export of a netlist (NanGate45-style instance names).
+/// Useful for inspecting generated designs with external tools and for
+/// documenting exactly what circuit a campaign ran against.
 
 #include <filesystem>
 #include <string>

@@ -1,7 +1,8 @@
 #pragma once
-// Word-level combinational helpers: a Word is an LSB-first vector of nets.
-// These lower multi-bit RTL operators onto the gate-level builder, playing
-// the role logic synthesis plays in the paper's flow.
+/// \file word.hpp
+/// \brief Word-level combinational helpers: a Word is an LSB-first vector of nets.
+/// These lower multi-bit RTL operators onto the gate-level builder, playing
+/// the role logic synthesis plays in the paper's flow.
 
 #include <cstdint>
 #include <span>

@@ -1,9 +1,10 @@
 #pragma once
-// Bit-parallel gate-level simulator. Every net carries a 64-bit word whose
-// bit L is the value of the net in simulation lane L, so one pass through
-// the levelized netlist advances 64 independent fault scenarios at once
-// (classic parallel fault simulation). A fault-free ("golden") run simply
-// drives identical stimulus on all lanes and reads lane 0.
+/// \file packed_sim.hpp
+/// \brief Bit-parallel gate-level simulator. Every net carries a 64-bit word whose
+/// bit L is the value of the net in simulation lane L, so one pass through
+/// the levelized netlist advances 64 independent fault scenarios at once
+/// (classic parallel fault simulation). A fault-free ("golden") run simply
+/// drives identical stimulus on all lanes and reads lane 0.
 
 #include <cstdint>
 #include <span>

@@ -1,8 +1,9 @@
 #pragma once
-// Naive single-lane reference simulator: evaluates cells with the cell
-// library's scalar `evaluate()` over bool values, recomputing until a fixed
-// point each cycle. Orders of magnitude slower than PackedSimulator but
-// obviously correct — used for differential testing of the packed engine.
+/// \file reference_sim.hpp
+/// \brief Naive single-lane reference simulator: evaluates cells with the cell
+/// library's scalar `evaluate()` over bool values, recomputing until a fixed
+/// point each cycle. Orders of magnitude slower than PackedSimulator but
+/// obviously correct — used for differential testing of the packed engine.
 
 #include <vector>
 

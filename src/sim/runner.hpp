@@ -1,7 +1,8 @@
 #pragma once
-// Drives a PackedSimulator through a testbench: applies stimulus, services
-// loopbacks, schedules fault injections, extracts per-lane frames at the
-// monitored packet interface and records per-flip-flop signal activity.
+/// \file runner.hpp
+/// \brief Drives a PackedSimulator through a testbench: applies stimulus, services
+/// loopbacks, schedules fault injections, extracts per-lane frames at the
+/// monitored packet interface and records per-flip-flop signal activity.
 
 #include <cstdint>
 #include <vector>

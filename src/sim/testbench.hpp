@@ -1,7 +1,8 @@
 #pragma once
-// Testbench description: open-loop input waveforms, registered loopback
-// connections (e.g. XGMII TX -> RX in the paper's 10GE MAC bench), the
-// packet-interface monitor specification and the fault-injection window.
+/// \file testbench.hpp
+/// \brief Testbench description: open-loop input waveforms, registered loopback
+/// connections (e.g. XGMII TX -> RX in the paper's 10GE MAC bench), the
+/// packet-interface monitor specification and the fault-injection window.
 
 #include <cstdint>
 #include <string>

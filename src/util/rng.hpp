@@ -1,10 +1,11 @@
 #pragma once
-// Deterministic, seedable random number generation for the whole library.
-//
-// Every stochastic component (fault-injection schedules, train/test splits,
-// random hyperparameter search, workload generation) takes an explicit
-// `Rng&` or a seed; there is no global RNG state, so campaigns and
-// experiments are reproducible bit-for-bit given a seed.
+/// \file rng.hpp
+/// \brief Deterministic, seedable random number generation for the whole library.
+///
+/// Every stochastic component (fault-injection schedules, train/test splits,
+/// random hyperparameter search, workload generation) takes an explicit
+/// `Rng&` or a seed; there is no global RNG state, so campaigns and
+/// experiments are reproducible bit-for-bit given a seed.
 
 #include <cstdint>
 #include <limits>

@@ -1,6 +1,7 @@
 #pragma once
-// A small fixed-size thread pool with a parallel-for helper, used to run
-// fault-injection campaigns and cross-validation folds concurrently.
+/// \file thread_pool.hpp
+/// \brief A small fixed-size thread pool with a parallel-for helper, used to run
+/// fault-injection campaigns and cross-validation folds concurrently.
 
 #include <condition_variable>
 #include <cstddef>

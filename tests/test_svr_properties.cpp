@@ -94,7 +94,9 @@ TEST(SvrProperties, SupportVectorCountGrowsWithSmallerEpsilon) {
     config.epsilon = eps;
     SvrRegressor model(config);
     model.fit(p.x, p.y);
-    if (!first) EXPECT_GE(model.num_support_vectors(), previous);
+    if (!first) {
+      EXPECT_GE(model.num_support_vectors(), previous);
+    }
     previous = model.num_support_vectors();
     first = false;
   }
