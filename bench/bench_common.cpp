@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "fault/engine.hpp"
 #include "util/csv.hpp"
 #include "util/stopwatch.hpp"
 
@@ -21,8 +22,9 @@ std::filesystem::path env_path(const char* name, const char* fallback) {
   return value != nullptr ? value : fallback;
 }
 
-PaperContext build_context() {
-  PaperContext ctx;
+// Builds the context in place: ctx must already live at its final address,
+// because the engine keeps references into ctx.mac / ctx.workload.
+void build_context(PaperContext& ctx) {
   util::Stopwatch stopwatch;
   ctx.injections_per_ff = env_size("FFR_INJECTIONS", 170);
   ctx.results_dir = env_path("FFR_RESULTS_DIR", "ffr_results");
@@ -30,7 +32,11 @@ PaperContext build_context() {
 
   ctx.mac = circuits::build_mac_core();
   ctx.workload = circuits::build_mac_testbench(ctx.mac, {});
-  ctx.golden = sim::run_golden(ctx.mac.netlist, ctx.workload.tb);
+  // One batched engine serves the golden run, the ground-truth campaign and
+  // every bench that sweeps flows on the same pair.
+  ctx.engine =
+      std::make_unique<fault::CampaignEngine>(ctx.mac.netlist, ctx.workload.tb);
+  ctx.golden = ctx.engine->golden();
   ctx.features = features::extract_features(ctx.mac.netlist, ctx.golden.activity);
   std::printf("# %s\n", ctx.mac.netlist.summary().c_str());
   std::printf("# workload: %zu frames, %zu cycles, golden delivers %zu frames\n",
@@ -43,8 +49,7 @@ PaperContext build_context() {
   fault::CampaignConfig config;
   config.injections_per_ff = ctx.injections_per_ff;
   const bool cached = std::filesystem::exists(cache_file);
-  ctx.campaign = fault::run_campaign_cached(ctx.mac.netlist, ctx.workload.tb,
-                                            ctx.golden, config, cache_file);
+  ctx.campaign = ctx.engine->run_cached(config, cache_file);
   ctx.fdr = ctx.campaign.fdr_vector();
   std::printf(
       "# flat SFI campaign: %zu FFs x %zu injections = %llu runs (%s, %.1fs), "
@@ -53,13 +58,14 @@ PaperContext build_context() {
       static_cast<unsigned long long>(ctx.campaign.total_injections),
       cached ? "cache hit" : "freshly simulated", stopwatch.elapsed_seconds(),
       ctx.campaign.mean_fdr());
-  return ctx;
 }
 
 }  // namespace
 
 const PaperContext& paper_context() {
-  static const PaperContext ctx = build_context();
+  static PaperContext ctx;
+  static const bool built = (build_context(ctx), true);
+  (void)built;
   return ctx;
 }
 

@@ -10,11 +10,13 @@
 //   FFR_RESULTS_DIR output directory for CSV series (default ./ffr_results)
 
 #include <filesystem>
+#include <memory>
 #include <string>
 
 #include "circuits/mac_core.hpp"
 #include "circuits/mac_testbench.hpp"
 #include "fault/campaign.hpp"
+#include "fault/engine.hpp"
 #include "features/extractor.hpp"
 #include "ml/model_selection.hpp"
 #include "sim/runner.hpp"
@@ -24,6 +26,10 @@ namespace ffr::bench {
 struct PaperContext {
   circuits::MacCore mac;
   circuits::MacTestbench workload;
+  /// Shared batched engine over (mac, workload): golden run and compiled
+  /// stimulus paid once per process; benches reuse it for campaigns and
+  /// estimation-flow sweeps.
+  std::unique_ptr<fault::CampaignEngine> engine;
   sim::GoldenResult golden;
   features::FeatureMatrix features;
   fault::CampaignResult campaign;

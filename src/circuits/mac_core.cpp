@@ -14,15 +14,6 @@ using netlist::NetId;
 using netlist::NetlistBuilder;
 using rtl::Word;
 
-std::uint32_t crc32_residue() {
-  // Residue is message-independent; derive it from the empty message.
-  std::uint32_t state = rtl::kCrc32Init;
-  const std::uint32_t fcs = state ^ rtl::kCrc32FinalXor;
-  for (int i = 0; i < 4; ++i) {
-    state = rtl::crc32_update(state, static_cast<std::uint8_t>(fcs >> (8 * i)));
-  }
-  return state;
-}
 
 namespace {
 
@@ -236,7 +227,7 @@ MacCore build_mac_core(const MacConfig& config) {
                                       frame_begin);
     for (std::size_t i = 0; i < 32; ++i) bld.bind_forward_wire(rx_crc_dw[i], loaded[i]);
   }
-  const NetId crc_ok = rtl::equals_const(bld, rx_crc.q, crc32_residue());
+  const NetId crc_ok = rtl::equals_const(bld, rx_crc.q, rtl::crc32_residue());
 
   // 4-byte delay line strips the FCS from the payload stream.
   rtl::Register dly0 = rtl::make_register_en(bld, "rx_dly0", rx_data_r.q, byte_arrived);

@@ -65,10 +65,6 @@ struct MacCore {
   [[nodiscard]] std::vector<sim::Loopback> xgmii_loopback() const;
 };
 
-/// The CRC register value left after processing a message followed by its
-/// own little-endian FCS (used by the receive engine's check).
-[[nodiscard]] std::uint32_t crc32_residue();
-
 [[nodiscard]] MacCore build_mac_core(const MacConfig& config = {});
 
 }  // namespace ffr::circuits

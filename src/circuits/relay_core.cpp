@@ -1,0 +1,209 @@
+#include "circuits/relay_core.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "netlist/builder.hpp"
+#include "rtl/arith.hpp"
+#include "rtl/crc.hpp"
+#include "rtl/fifo.hpp"
+#include "rtl/fsm.hpp"
+#include "rtl/word.hpp"
+#include "util/rng.hpp"
+
+namespace ffr::circuits {
+
+using netlist::NetId;
+using netlist::NetlistBuilder;
+using rtl::Word;
+
+namespace {
+
+// Egress framing FSM states (one-hot).
+enum EgressState : std::size_t { kIdle = 0, kPayload = 1, kNumEgressStates = 2 };
+
+// Entry layout inside every hop FIFO: 8 data bits + sop + eop.
+constexpr std::size_t kSopBit = 8;
+constexpr std::size_t kEopBit = 9;
+
+}  // namespace
+
+sim::PacketMonitorSpec RelayCore::packet_monitor() const {
+  sim::PacketMonitorSpec spec;
+  spec.valid = out_valid;
+  spec.sop = out_sop;
+  spec.eop = out_eop;
+  spec.err = out_err;
+  spec.data = out_data;
+  return spec;
+}
+
+RelayCore build_relay_core(const RelayConfig& config) {
+  if (config.hops == 0) throw std::invalid_argument("relay: hops >= 1");
+  NetlistBuilder bld("relay_core");
+  RelayCore core;
+
+  core.in_valid = bld.input("in_valid");
+  core.in_sop = bld.input("in_sop");
+  core.in_eop = bld.input("in_eop");
+  core.in_data = bld.input_bus("in_data", 8);
+  core.out_ready = bld.input("out_ready");
+
+  // The relay chain. Hop h reads whenever hop h+1 has room; hop h+1 writes
+  // whenever hop h has an entry. make_fifo gates both with its own
+  // full/empty, so the pair agrees on exactly one transfer per cycle and an
+  // entry advances one hop per cycle while the chain has room.
+  Word din = rtl::word_concat(core.in_data, Word{core.in_sop, core.in_eop});
+  NetId wr_en = core.in_valid;
+  std::vector<rtl::Fifo> hops;
+  std::vector<NetId> rd_wires;
+  hops.reserve(config.hops);
+  rd_wires.reserve(config.hops);
+  for (std::size_t h = 0; h < config.hops; ++h) {
+    const std::string name = "hop" + std::to_string(h);
+    const NetId rd_en = bld.forward_wire(name + "_rd");
+    rd_wires.push_back(rd_en);
+    hops.push_back(
+        rtl::make_fifo(bld, name, din, config.depth_log2, wr_en, rd_en));
+    if (h > 0) bld.bind_forward_wire(rd_wires[h - 1], bld.inv(hops[h].full));
+    din = hops[h].dout;
+    wr_en = bld.inv(hops[h].empty);
+  }
+  bld.bind_forward_wire(rd_wires.back(), core.out_ready);
+  const rtl::Fifo& last = hops.back();
+
+  // Egress: the head entry leaves the chain when the consumer reads.
+  const NetId pop = bld.and2(core.out_ready, bld.inv(last.empty));
+  const Word head_data = rtl::word_slice(last.dout, 0, 8);
+  const NetId head_sop = last.dout[kSopBit];
+  const NetId head_eop = last.dout[kEopBit];
+
+  // Framing FSM: tracks the in-frame phase between a sop and its eop entry.
+  rtl::Fsm fsm;
+  {
+    rtl::FsmBuilder fsm_bld(bld, "egress_fsm", kNumEgressStates, kIdle);
+    const NetId start = bld.gate(netlist::CellFunc::kAnd3,
+                                 {pop, head_sop, bld.inv(head_eop)});
+    fsm_bld.transition(kIdle, kPayload, start);
+    fsm_bld.transition(kPayload, kIdle, bld.and2(pop, head_eop));
+    fsm = fsm_bld.build();
+  }
+  const NetId in_frame = fsm.in_state(kPayload);
+
+  // CRC-32 over every popped payload byte, re-based to the init value at the
+  // sop entry; after the payload and its appended FCS the register holds the
+  // standard residue iff the frame crossed the chain intact.
+  std::vector<NetId> crc_d = bld.forward_wires("egress_crc_d", 32);
+  rtl::Register crc;
+  {
+    netlist::RegisterBus bus;
+    bus.name = "egress_crc";
+    for (std::size_t i = 0; i < 32; ++i) {
+      netlist::FlipFlop ff =
+          bld.dff(crc_d[i], true, "egress_crc[" + std::to_string(i) + "]");
+      bus.flip_flops.push_back(ff.cell);
+      crc.ffs.push_back(ff);
+      crc.q.push_back(ff.q);
+    }
+    bld.add_register_bus(std::move(bus));
+  }
+  {
+    const NetId byte_pop = bld.and2(pop, bld.inv(head_eop));
+    const NetId process = bld.and2(byte_pop, bld.or2(head_sop, in_frame));
+    const Word init = rtl::constant_word(bld, ~0ULL, 32);
+    const Word base = rtl::word_mux(bld, crc.q, init, head_sop);
+    const Word next = rtl::crc32_byte_next(bld, base, head_data);
+    const Word held = rtl::word_mux(bld, crc.q, next, process);
+    for (std::size_t i = 0; i < 32; ++i) bld.bind_forward_wire(crc_d[i], held[i]);
+  }
+  const NetId crc_ok = rtl::equals_const(bld, crc.q, rtl::crc32_residue());
+  const NetId err = bld.and2(head_eop, bld.inv(crc_ok));
+
+  core.out_valid = pop;
+  core.out_sop = head_sop;
+  core.out_eop = head_eop;
+  core.out_err = err;
+  core.out_data = head_data;
+  core.in_full = hops.front().full;
+
+  bld.output(core.out_valid, "out_valid");
+  bld.output(core.out_sop, "out_sop");
+  bld.output(core.out_eop, "out_eop");
+  bld.output(core.out_err, "out_err");
+  bld.output_bus(core.out_data, "out_data");
+  bld.output(core.in_full, "in_full");
+
+  core.netlist = bld.build();
+  return core;
+}
+
+RelayTestbench build_relay_testbench(const RelayCore& core,
+                                     const RelayTestbenchConfig& config) {
+  if (config.min_payload == 0 || config.max_payload < config.min_payload) {
+    throw std::invalid_argument("relay testbench: bad payload range");
+  }
+  util::Rng rng(config.seed);
+  const auto& nl = core.netlist;
+  const auto pi = [&](netlist::NetId net) {
+    return static_cast<std::size_t>(nl.net(net).pi_index);
+  };
+
+  // Generate the frame schedule first to size the stimulus exactly.
+  RelayTestbench bench;
+  struct Entry {
+    std::uint8_t byte = 0;
+    bool sop = false;
+    bool eop = false;
+  };
+  std::vector<std::pair<std::size_t, Entry>> schedule;  // (cycle, entry)
+  std::size_t cycle = 2;
+  for (std::size_t f = 0; f < config.num_frames; ++f) {
+    const std::size_t len = static_cast<std::size_t>(rng.range(
+        static_cast<std::int64_t>(config.min_payload),
+        static_cast<std::int64_t>(config.max_payload)));
+    std::vector<std::uint8_t> wire;
+    wire.reserve(len + 4);
+    for (std::size_t b = 0; b < len; ++b) {
+      wire.push_back(static_cast<std::uint8_t>(rng.below(256)));
+    }
+    const std::uint32_t fcs = rtl::crc32(wire);
+    for (int i = 0; i < 4; ++i) {
+      wire.push_back(static_cast<std::uint8_t>(fcs >> (8 * i)));
+    }
+    for (std::size_t b = 0; b < wire.size(); ++b) {
+      schedule.push_back({cycle++, Entry{wire[b], b == 0, false}});
+    }
+    schedule.push_back({cycle++, Entry{0, false, true}});
+    bench.sent_frames.push_back(std::move(wire));
+    cycle += config.inter_frame_gap;
+  }
+  const std::size_t write_end = cycle;
+  const std::size_t num_cycles = write_end + config.tail_cycles;
+
+  sim::Stimulus stim(nl.primary_inputs().size(), num_cycles);
+  for (const auto& [c, entry] : schedule) {
+    stim.set(pi(core.in_valid), c, true);
+    stim.set(pi(core.in_sop), c, entry.sop);
+    stim.set(pi(core.in_eop), c, entry.eop);
+    for (std::size_t b = 0; b < 8; ++b) {
+      stim.set(pi(core.in_data[b]), c, ((entry.byte >> b) & 1u) != 0);
+    }
+  }
+  // Egress reads in on/off bursts so the chain stays partially occupied.
+  for (std::size_t c = 0; c < num_cycles; ++c) {
+    bool ready = true;
+    if (config.read_burst != 0) {
+      const std::size_t off = std::max<std::size_t>(1, config.read_burst / 4);
+      ready = (c % (config.read_burst + off)) < config.read_burst;
+    }
+    stim.set(pi(core.out_ready), c, ready);
+  }
+
+  bench.tb.stimulus = std::move(stim);
+  bench.tb.monitor = core.packet_monitor();
+  bench.tb.inject_begin = 2;
+  bench.tb.inject_end = write_end + config.tail_cycles / 2;
+  return bench;
+}
+
+}  // namespace ffr::circuits

@@ -16,17 +16,31 @@ double FlowResult::mean_fdr() const {
 
 FlowResult run_estimation_flow(const netlist::Netlist& nl, const sim::Testbench& tb,
                                const FlowConfig& config) {
+  // Keep this overload's golden_seconds semantics: the golden run happens
+  // inside the engine constructor, so time it and fold it back in.
+  util::Stopwatch stopwatch;
+  const fault::CampaignEngine engine(nl, tb);
+  const double golden_seconds = stopwatch.elapsed_seconds();
+  FlowResult result = run_estimation_flow(engine, config);
+  result.golden_seconds += golden_seconds;
+  return result;
+}
+
+FlowResult run_estimation_flow(const fault::CampaignEngine& engine,
+                               const FlowConfig& config) {
   if (config.training_size <= 0.0 || config.training_size > 1.0) {
     throw std::invalid_argument("run_estimation_flow: training_size in (0, 1]");
   }
+  const netlist::Netlist& nl = engine.netlist();
   const std::size_t n = nl.num_flip_flops();
   if (n == 0) throw std::invalid_argument("run_estimation_flow: no flip-flops");
 
   FlowResult result;
   util::Stopwatch stopwatch;
 
-  // (1) Golden run: reference frames + signal activity; then features.
-  const sim::GoldenResult golden = sim::run_golden(nl, tb);
+  // (1) Golden run: reference frames + signal activity (cached on the
+  // engine — free after the first flow invocation); then features.
+  const sim::GoldenResult& golden = engine.golden();
   result.features = features::extract_features(nl, golden.activity);
   result.golden_seconds = stopwatch.elapsed_seconds();
 
@@ -45,9 +59,9 @@ FlowResult run_estimation_flow(const netlist::Netlist& nl, const sim::Testbench&
   campaign_config.injections_per_ff = config.injections_per_ff;
   campaign_config.seed = config.seed;
   campaign_config.num_threads = config.num_threads;
+  campaign_config.batch_size = config.batch_size;
   campaign_config.ff_subset = result.train_indices;
-  const fault::CampaignResult campaign =
-      fault::run_campaign(nl, tb, golden, campaign_config);
+  const fault::CampaignResult campaign = engine.run(campaign_config);
   result.campaign_seconds = stopwatch.elapsed_seconds();
   result.train_fdr = campaign.fdr_vector();
   result.injections_spent = campaign.total_injections;

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "fault/campaign.hpp"
+#include "fault/engine.hpp"
 #include "features/extractor.hpp"
 #include "ml/metrics.hpp"
 #include "ml/model.hpp"
@@ -38,6 +39,9 @@ struct FlowConfig {
   std::uint64_t seed = 0xF10F;
   /// Worker threads for the campaign; 0 = hardware concurrency.
   std::size_t num_threads = 0;
+  /// Campaign work-stealing granularity (see CampaignConfig::batch_size);
+  /// 0 = auto. Never affects the numerical results.
+  std::size_t batch_size = 0;
 };
 
 /// Everything a flow run produces: the feature matrix, the train/predict
@@ -84,6 +88,17 @@ struct FlowResult {
 ///         outside (0, 1], or an unknown model name.
 [[nodiscard]] FlowResult run_estimation_flow(const netlist::Netlist& nl,
                                              const sim::Testbench& tb,
+                                             const FlowConfig& config = {});
+
+/// Runs the flow on a prebuilt CampaignEngine, reusing its cached golden run
+/// (frames + activity trace) and compiled stimulus across invocations —
+/// sweeping flow configurations on one (netlist, testbench) pair pays the
+/// golden-simulation cost once instead of once per call. The campaign itself
+/// uses the engine's batched path. Numerically identical to the
+/// (netlist, testbench) overload for the same config; with a prebuilt engine
+/// golden_seconds covers only feature extraction, since the golden run is
+/// amortized.
+[[nodiscard]] FlowResult run_estimation_flow(const fault::CampaignEngine& engine,
                                              const FlowConfig& config = {});
 
 /// Scores a flow result against a reference full campaign.

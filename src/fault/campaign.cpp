@@ -1,7 +1,9 @@
 #include "fault/campaign.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <fstream>
+#include <stdexcept>
 
 #include "util/csv.hpp"
 #include "util/rng.hpp"
@@ -42,27 +44,99 @@ void CampaignResult::save_csv(const std::filesystem::path& path) const {
 
 CampaignResult CampaignResult::load_csv(const std::filesystem::path& path) {
   const util::CsvTable table = util::read_csv_file(path);
+  const auto fail = [&path](const std::string& what) {
+    return std::runtime_error("CampaignResult::load_csv(" + path.string() +
+                              "): " + what);
+  };
+  const auto column = [&](std::string_view name) {
+    try {
+      return table.column_index(name);
+    } catch (const std::out_of_range&) {
+      throw fail("missing column '" + std::string(name) + "'");
+    }
+  };
   CampaignResult result;
-  const std::size_t idx_col = table.column_index("ff_index");
-  const std::size_t name_col = table.column_index("name");
-  const std::size_t inj_col = table.column_index("injections");
+  const std::size_t idx_col = column("ff_index");
+  const std::size_t name_col = column("name");
+  const std::size_t inj_col = column("injections");
   std::array<std::size_t, kNumFailureClasses> class_cols{};
   for (std::size_t c = 0; c < kNumFailureClasses; ++c) {
-    class_cols[c] =
-        table.column_index(to_string(static_cast<FailureClass>(c)));
+    class_cols[c] = column(to_string(static_cast<FailureClass>(c)));
   }
-  for (const auto& row : table.rows) {
+  for (std::size_t r = 0; r < table.rows.size(); ++r) {
+    const auto& row = table.rows[r];
+    if (row.size() != table.header.size()) {
+      throw fail("row " + std::to_string(r + 1) + " has " +
+                 std::to_string(row.size()) + " fields, expected " +
+                 std::to_string(table.header.size()));
+    }
+    const auto parse_count = [&](std::size_t col) {
+      const std::string& field = row[col];
+      std::uint64_t value = 0;
+      const auto [end, ec] =
+          std::from_chars(field.data(), field.data() + field.size(), value);
+      if (ec != std::errc{} || end != field.data() + field.size()) {
+        throw fail("bad count '" + field + "' in column '" + table.header[col] +
+                   "', row " + std::to_string(r + 1));
+      }
+      return value;
+    };
     FfResult ff;
-    ff.ff_index = std::stoull(row.at(idx_col));
-    ff.name = row.at(name_col);
-    ff.injections = std::stoull(row.at(inj_col));
+    ff.ff_index = parse_count(idx_col);
+    ff.name = row[name_col];
+    ff.injections = parse_count(inj_col);
+    std::uint64_t class_total = 0;
     for (std::size_t c = 0; c < kNumFailureClasses; ++c) {
-      ff.classes.counts[c] = std::stoull(row.at(class_cols[c]));
+      ff.classes.counts[c] = parse_count(class_cols[c]);
+      class_total += ff.classes.counts[c];
+    }
+    if (class_total != ff.injections) {
+      throw fail("row " + std::to_string(r + 1) + " class counts sum to " +
+                 std::to_string(class_total) + " but injections is " +
+                 std::to_string(ff.injections));
     }
     result.total_injections += ff.injections;
     result.per_ff.push_back(std::move(ff));
   }
   return result;
+}
+
+std::vector<std::size_t> injection_cycles(const CampaignConfig& config,
+                                          const sim::Testbench& tb,
+                                          std::size_t ff_index) {
+  if (tb.inject_end <= tb.inject_begin) {
+    throw std::invalid_argument("injection_cycles: empty injection window");
+  }
+  const std::size_t window = tb.inject_end - tb.inject_begin;
+
+  // Per-FF deterministic stream: independent of the subset ordering and of
+  // how tasks are scheduled across threads.
+  util::Rng rng(config.seed ^ (0x9e3779b97f4a7c15ULL * (ff_index + 1)));
+
+  // Injection cycles: distinct when the window allows, as in a statistical
+  // campaign sampling "different times during the active phase".
+  std::vector<std::size_t> cycles;
+  if (config.injections_per_ff <= window) {
+    cycles = rng.sample_without_replacement(window, config.injections_per_ff);
+  } else {
+    cycles.resize(config.injections_per_ff);
+    for (auto& c : cycles) c = static_cast<std::size_t>(rng.below(window));
+  }
+  for (auto& c : cycles) c += tb.inject_begin;
+  return cycles;
+}
+
+std::vector<std::size_t> resolve_ff_subset(const CampaignConfig& config,
+                                           std::size_t num_ffs) {
+  std::vector<std::size_t> subset = config.ff_subset;
+  if (subset.empty()) {
+    subset.resize(num_ffs);
+    for (std::size_t i = 0; i < num_ffs; ++i) subset[i] = i;
+  }
+  for (const std::size_t i : subset) {
+    if (i >= num_ffs) throw std::out_of_range("resolve_ff_subset: ff index");
+  }
+  return subset;
 }
 
 CampaignResult run_campaign(const netlist::Netlist& nl, const sim::Testbench& tb,
@@ -71,17 +145,8 @@ CampaignResult run_campaign(const netlist::Netlist& nl, const sim::Testbench& tb
   if (tb.inject_end <= tb.inject_begin) {
     throw std::invalid_argument("run_campaign: empty injection window");
   }
-  const std::size_t window = tb.inject_end - tb.inject_begin;
   const auto ffs = nl.flip_flops();
-
-  std::vector<std::size_t> subset = config.ff_subset;
-  if (subset.empty()) {
-    subset.resize(ffs.size());
-    for (std::size_t i = 0; i < ffs.size(); ++i) subset[i] = i;
-  }
-  for (const std::size_t i : subset) {
-    if (i >= ffs.size()) throw std::out_of_range("run_campaign: ff index");
-  }
+  const std::vector<std::size_t> subset = resolve_ff_subset(config, ffs.size());
 
   util::Stopwatch stopwatch;
   CampaignResult result;
@@ -93,20 +158,7 @@ CampaignResult run_campaign(const netlist::Netlist& nl, const sim::Testbench& tb
     const std::size_t ff_index = subset[task];
     const netlist::CellId cell = ffs[ff_index];
 
-    // Per-FF deterministic stream: independent of the subset ordering and of
-    // how tasks are scheduled across threads.
-    util::Rng rng(config.seed ^ (0x9e3779b97f4a7c15ULL * (ff_index + 1)));
-
-    // Injection cycles: distinct when the window allows, as in a statistical
-    // campaign sampling "different times during the active phase".
-    std::vector<std::size_t> cycles;
-    if (config.injections_per_ff <= window) {
-      cycles = rng.sample_without_replacement(window, config.injections_per_ff);
-    } else {
-      cycles.resize(config.injections_per_ff);
-      for (auto& c : cycles) c = static_cast<std::size_t>(rng.below(window));
-    }
-    for (auto& c : cycles) c += tb.inject_begin;
+    const std::vector<std::size_t> cycles = injection_cycles(config, tb, ff_index);
 
     FfResult ff_result;
     ff_result.ff_index = ff_index;
@@ -141,29 +193,39 @@ CampaignResult run_campaign(const netlist::Netlist& nl, const sim::Testbench& tb
   return result;
 }
 
+std::optional<CampaignResult> load_campaign_cache(
+    const netlist::Netlist& nl, const CampaignConfig& config,
+    const std::filesystem::path& path) {
+  if (path.empty() || !std::filesystem::exists(path)) return std::nullopt;
+  CampaignResult cached;
+  try {
+    cached = CampaignResult::load_csv(path);
+  } catch (const std::runtime_error&) {
+    return std::nullopt;  // corrupt cache: fall back to a fresh run
+  }
+  // Validate against the current netlist + config before trusting it: the
+  // cached rows must target exactly the config's resolved subset, in order,
+  // with matching cell names and injection counts.
+  const auto ffs = nl.flip_flops();
+  const std::vector<std::size_t> subset = resolve_ff_subset(config, ffs.size());
+  if (cached.per_ff.size() != subset.size()) return std::nullopt;
+  for (std::size_t i = 0; i < subset.size(); ++i) {
+    const FfResult& ff = cached.per_ff[i];
+    if (ff.ff_index != subset[i] || nl.cell(ffs[ff.ff_index]).name != ff.name ||
+        ff.injections != config.injections_per_ff) {
+      return std::nullopt;
+    }
+  }
+  return cached;
+}
+
 CampaignResult run_campaign_cached(const netlist::Netlist& nl,
                                    const sim::Testbench& tb,
                                    const sim::GoldenResult& golden,
                                    const CampaignConfig& config,
                                    const std::filesystem::path& cache_path) {
-  if (!cache_path.empty() && std::filesystem::exists(cache_path)) {
-    CampaignResult cached = CampaignResult::load_csv(cache_path);
-    // Validate against the current netlist + config before trusting it.
-    const auto ffs = nl.flip_flops();
-    const std::size_t expected =
-        config.ff_subset.empty() ? ffs.size() : config.ff_subset.size();
-    bool valid = cached.per_ff.size() == expected;
-    if (valid) {
-      for (const FfResult& ff : cached.per_ff) {
-        if (ff.ff_index >= ffs.size() ||
-            nl.cell(ffs[ff.ff_index]).name != ff.name ||
-            ff.injections != config.injections_per_ff) {
-          valid = false;
-          break;
-        }
-      }
-    }
-    if (valid) return cached;
+  if (auto cached = load_campaign_cache(nl, config, cache_path)) {
+    return *std::move(cached);
   }
   CampaignResult fresh = run_campaign(nl, tb, golden, config);
   if (!cache_path.empty()) {

@@ -9,7 +9,10 @@
 ///
 /// Injections are packed 64 per simulation pass (one lane per injection
 /// time), so a full 947-FF x 170-injection campaign costs ~3 passes per
-/// flip-flop.
+/// flip-flop. The batched CampaignEngine (fault/engine.hpp) additionally
+/// packs lanes across flip-flops and reuses the golden run; run_campaign()
+/// remains the simple reference implementation the engine is differentially
+/// tested against.
 
 #include <cstdint>
 #include <filesystem>
@@ -31,6 +34,10 @@ struct CampaignConfig {
   std::uint64_t seed = 0xFA57;
   /// Worker threads; 0 = hardware concurrency.
   std::size_t num_threads = 0;
+  /// Simulation passes claimed per work-stealing chunk in the batched
+  /// CampaignEngine (0 = auto). Pure scheduling knob: results are identical
+  /// for every value. Ignored by the flat run_campaign().
+  std::size_t batch_size = 0;
   /// Restrict the campaign to these flip-flop indices (positions within
   /// Netlist::flip_flops()). Empty = all flip-flops.
   std::vector<std::size_t> ff_subset;
@@ -73,6 +80,20 @@ struct CampaignResult {
   [[nodiscard]] static CampaignResult load_csv(const std::filesystem::path& path);
 };
 
+/// The deterministic injection-cycle schedule for one flip-flop: cycles
+/// drawn from the testbench's [inject_begin, inject_end) window, seeded by
+/// (config.seed, ff_index) only — independent of subset order, threading
+/// and batching. Shared by the flat campaign and the batched CampaignEngine;
+/// their bit-exact equivalence rests on this function.
+[[nodiscard]] std::vector<std::size_t> injection_cycles(const CampaignConfig& config,
+                                                        const sim::Testbench& tb,
+                                                        std::size_t ff_index);
+
+/// Resolves config.ff_subset against a census of `num_ffs` flip-flops:
+/// empty means all; out-of-range indices throw std::out_of_range.
+[[nodiscard]] std::vector<std::size_t> resolve_ff_subset(const CampaignConfig& config,
+                                                         std::size_t num_ffs);
+
 /// Runs the campaign.
 ///
 /// \param nl     Finalized netlist whose flip-flops are targeted.
@@ -85,6 +106,17 @@ struct CampaignResult {
                                           const sim::Testbench& tb,
                                           const sim::GoldenResult& golden,
                                           const CampaignConfig& config = {});
+
+/// Loads a cached campaign from `path` if the file exists and matches the
+/// netlist's flip-flop census and the config: the cached rows must cover
+/// exactly the resolved ff_subset in order, with matching cell names and
+/// injection counts; std::nullopt otherwise. The seed is not persisted in
+/// the CSV, so a cache produced with a different seed is indistinguishable —
+/// use distinct cache paths per seed. Shared by the cached entry points of
+/// the flat campaign and the batched CampaignEngine.
+[[nodiscard]] std::optional<CampaignResult> load_campaign_cache(
+    const netlist::Netlist& nl, const CampaignConfig& config,
+    const std::filesystem::path& path);
 
 /// Disk-cached campaign: loads `cache_path` if it exists and matches the
 /// netlist's flip-flop census; otherwise runs and saves. Pass an empty path

@@ -1,0 +1,114 @@
+#include "fault/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ffr::fault {
+
+CampaignEngine::CampaignEngine(const netlist::Netlist& nl, const sim::Testbench& tb)
+    : nl_(&nl), tb_(&tb), stimulus_(nl, tb) {
+  sim::ReplayRunner runner(stimulus_);
+  sim::RunOptions options;
+  options.trace_activity = true;
+  sim::RunResult run = runner.run({}, options);
+  golden_.frames = std::move(run.lane_frames[0]);
+  golden_.activity = std::move(run.activity);
+  golden_.eval_count = run.eval_count;
+}
+
+CampaignResult CampaignEngine::run(const CampaignConfig& config) const {
+  if (tb_->inject_end <= tb_->inject_begin) {
+    throw std::invalid_argument("CampaignEngine::run: empty injection window");
+  }
+  const auto ffs = nl_->flip_flops();
+  const std::vector<std::size_t> subset = resolve_ff_subset(config, ffs.size());
+
+  util::Stopwatch stopwatch;
+  CampaignResult result;
+  result.per_ff.resize(subset.size());
+
+  // Flat job list in deterministic (task-major, schedule-order) order: job j
+  // is one injection. Slicing it into 64-lane passes packs lanes across
+  // flip-flop boundaries, which is where the pass saving over the flat
+  // campaign comes from.
+  struct Job {
+    std::uint32_t task;
+    std::uint32_t cycle;
+  };
+  std::vector<Job> jobs;
+  jobs.reserve(subset.size() * config.injections_per_ff);
+  for (std::size_t task = 0; task < subset.size(); ++task) {
+    const std::size_t ff_index = subset[task];
+    FfResult& ff_result = result.per_ff[task];
+    ff_result.ff_index = ff_index;
+    ff_result.name = nl_->cell(ffs[ff_index]).name;
+    ff_result.injections = config.injections_per_ff;
+    for (const std::size_t cycle : injection_cycles(config, *tb_, ff_index)) {
+      jobs.push_back(Job{static_cast<std::uint32_t>(task),
+                         static_cast<std::uint32_t>(cycle)});
+    }
+  }
+
+  const std::size_t num_passes =
+      (jobs.size() + sim::kNumLanes - 1) / sim::kNumLanes;
+  // Per-job outcome, written disjointly by the workers and reduced serially
+  // afterwards — science output can never depend on scheduling.
+  std::vector<FailureClass> outcome(jobs.size(), FailureClass::kOk);
+
+  util::ThreadPool pool(config.num_threads);
+  std::vector<std::unique_ptr<sim::ReplayRunner>> runners(pool.size());
+  pool.parallel_for_chunked(
+      num_passes, config.batch_size,
+      [&](std::size_t pass_begin, std::size_t pass_end, std::size_t worker) {
+        if (!runners[worker]) {
+          runners[worker] = std::make_unique<sim::ReplayRunner>(stimulus_);
+        }
+        sim::ReplayRunner& runner = *runners[worker];
+        std::vector<sim::InjectionEvent> events;
+        events.reserve(sim::kNumLanes);
+        for (std::size_t pass = pass_begin; pass < pass_end; ++pass) {
+          const std::size_t job_begin = pass * sim::kNumLanes;
+          const std::size_t job_end =
+              std::min(jobs.size(), job_begin + sim::kNumLanes);
+          events.clear();
+          for (std::size_t j = job_begin; j < job_end; ++j) {
+            sim::InjectionEvent ev;
+            ev.ff_cell = ffs[subset[jobs[j].task]];
+            ev.cycle = jobs[j].cycle;
+            ev.lane_mask = sim::Lanes{1} << (j - job_begin);
+            events.push_back(ev);
+          }
+          const sim::RunResult run = runner.run(events);
+          for (std::size_t j = job_begin; j < job_end; ++j) {
+            outcome[j] =
+                classify(golden_.frames, run.lane_frames[j - job_begin]);
+          }
+        }
+      });
+
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    result.per_ff[jobs[j].task].classes.add(outcome[j]);
+  }
+  result.total_sim_passes = num_passes;
+  result.total_injections = jobs.size();
+  result.wall_seconds = stopwatch.elapsed_seconds();
+  return result;
+}
+
+CampaignResult CampaignEngine::run_cached(
+    const CampaignConfig& config, const std::filesystem::path& cache_path) const {
+  if (auto cached = load_campaign_cache(*nl_, config, cache_path)) {
+    return *std::move(cached);
+  }
+  CampaignResult fresh = run(config);
+  if (!cache_path.empty()) {
+    std::filesystem::create_directories(cache_path.parent_path());
+    fresh.save_csv(cache_path);
+  }
+  return fresh;
+}
+
+}  // namespace ffr::fault

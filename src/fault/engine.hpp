@@ -1,0 +1,64 @@
+#pragma once
+/// \file engine.hpp
+/// \brief Batched SFI campaign engine (paper §IV-A at scale).
+///
+/// CampaignEngine precomputes everything that is invariant across a
+/// campaign's simulation passes — the compiled stimulus (waveforms validated
+/// once and pre-broadcast to 64-lane words) and the golden frame stream /
+/// activity trace — and keeps one ReplayRunner per worker thread so the
+/// levelized evaluation order is built once per worker instead of once per
+/// pass. run() packs injection windows across flip-flops: the whole
+/// campaign's injections form one flat job list sliced into 64-lane passes,
+/// costing ceil(total_injections / 64) passes instead of the flat campaign's
+/// sum over flip-flops of ceil(injections_per_ff / 64). Passes are
+/// distributed over a work-stealing pool in chunks of
+/// CampaignConfig::batch_size.
+///
+/// Guarantee: for the same CampaignConfig, run() is bit-identical to
+/// run_campaign() — same per-flip-flop class counts and FDR vector — for
+/// every thread count and batch size (see tests/test_campaign_engine.cpp).
+
+#include <memory>
+#include <vector>
+
+#include "fault/campaign.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/runner.hpp"
+
+namespace ffr::fault {
+
+class CampaignEngine {
+ public:
+  /// Compiles the stimulus and runs the golden simulation once. The netlist
+  /// and testbench must outlive the engine.
+  CampaignEngine(const netlist::Netlist& nl, const sim::Testbench& tb);
+
+  [[nodiscard]] const netlist::Netlist& netlist() const noexcept { return *nl_; }
+  [[nodiscard]] const sim::Testbench& testbench() const noexcept { return *tb_; }
+
+  /// The golden run shared by every campaign and estimation-flow invocation
+  /// on this engine (frames, per-FF activity trace, eval accounting).
+  [[nodiscard]] const sim::GoldenResult& golden() const noexcept { return golden_; }
+
+  /// Batched campaign over the configured flip-flop subset. Bit-identical to
+  /// run_campaign(netlist(), testbench(), golden(), config), but with
+  /// cross-flip-flop lane packing and chunked work-stealing scheduling.
+  /// const because every precomputed member is read-only here — concurrent
+  /// run() calls on one engine are safe (each brings its own worker pool).
+  [[nodiscard]] CampaignResult run(const CampaignConfig& config = {}) const;
+
+  /// Disk-cached variant of run(): loads `cache_path` when it matches the
+  /// netlist census + config (see load_campaign_cache), otherwise runs the
+  /// batched campaign and saves. Pass an empty path to always run.
+  [[nodiscard]] CampaignResult run_cached(
+      const CampaignConfig& config,
+      const std::filesystem::path& cache_path) const;
+
+ private:
+  const netlist::Netlist* nl_;
+  const sim::Testbench* tb_;
+  sim::CompiledStimulus stimulus_;
+  sim::GoldenResult golden_;
+};
+
+}  // namespace ffr::fault

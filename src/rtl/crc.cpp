@@ -10,6 +10,16 @@ std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept {
   return state ^ kCrc32FinalXor;
 }
 
+std::uint32_t crc32_residue() noexcept {
+  // Residue is message-independent; derive it from the empty message.
+  std::uint32_t state = kCrc32Init;
+  const std::uint32_t fcs = state ^ kCrc32FinalXor;
+  for (int i = 0; i < 4; ++i) {
+    state = crc32_update(state, static_cast<std::uint8_t>(fcs >> (8 * i)));
+  }
+  return state;
+}
+
 Word crc32_byte_next(NetlistBuilder& bld, std::span<const NetId> crc_state,
                      std::span<const NetId> data_byte) {
   if (crc_state.size() != 32 || data_byte.size() != 8) {

@@ -29,6 +29,10 @@ inline constexpr std::uint32_t kCrc32FinalXor = 0xFFFFFFFFu;
 /// Full-message CRC-32 as transmitted in an Ethernet FCS field.
 [[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept;
 
+/// The CRC register value left after processing any message followed by its
+/// own little-endian FCS; receivers compare against this to validate frames.
+[[nodiscard]] std::uint32_t crc32_residue() noexcept;
+
 /// Gate-level combinational next-state for one byte: given the 32-bit CRC
 /// register value and an 8-bit data byte (both LSB-first words), returns the
 /// 32 next-state nets. The caller registers the result.

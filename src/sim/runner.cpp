@@ -90,82 +90,107 @@ class PacketMonitor {
 
 }  // namespace
 
-RunResult run_testbench(const netlist::Netlist& nl, const Testbench& tb,
-                        std::span<const InjectionEvent> injections,
-                        const RunOptions& options) {
+CompiledStimulus::CompiledStimulus(const netlist::Netlist& nl, const Testbench& tb)
+    : nl_(&nl), tb_(&tb) {
   const Stimulus& stim = tb.stimulus;
   if (stim.num_inputs() != nl.primary_inputs().size()) {
-    throw std::invalid_argument("run_testbench: stimulus/PI count mismatch");
+    throw std::invalid_argument("CompiledStimulus: stimulus/PI count mismatch");
   }
+  num_pis_ = stim.num_inputs();
+  num_cycles_ = stim.num_cycles();
+  waves_.resize(num_pis_ * num_cycles_);
+  for (std::size_t cycle = 0; cycle < num_cycles_; ++cycle) {
+    for (std::size_t i = 0; i < num_pis_; ++i) {
+      waves_[cycle * num_pis_ + i] = broadcast(stim.get(i, cycle));
+    }
+  }
+}
+
+ReplayRunner::ReplayRunner(const CompiledStimulus& stimulus)
+    : stim_(&stimulus), sim_(stimulus.netlist()) {}
+
+RunResult ReplayRunner::run(std::span<const InjectionEvent> injections,
+                            const RunOptions& options) {
+  const netlist::Netlist& nl = stim_->netlist();
+  const Testbench& tb = stim_->testbench();
+  const std::size_t num_cycles = stim_->num_cycles();
   for (const InjectionEvent& ev : injections) {
-    if (ev.cycle >= stim.num_cycles()) {
-      throw std::invalid_argument("run_testbench: injection beyond end of run");
+    if (ev.cycle >= num_cycles) {
+      throw std::invalid_argument("ReplayRunner: injection beyond end of run");
     }
   }
 
   // Injection schedule sorted by cycle for a single sweep.
-  std::vector<InjectionEvent> schedule(injections.begin(), injections.end());
-  std::sort(schedule.begin(), schedule.end(),
+  schedule_.assign(injections.begin(), injections.end());
+  std::sort(schedule_.begin(), schedule_.end(),
             [](const InjectionEvent& a, const InjectionEvent& b) {
               return a.cycle < b.cycle;
             });
 
-  PackedSimulator simulator(nl);
+  const std::uint64_t evals_before = sim_.eval_count();
+  sim_.reset();
   PacketMonitor monitor(tb.monitor);
 
   const auto ffs = nl.flip_flops();
   ActivityTrace activity;
-  std::vector<Lanes> prev_q;
   if (options.trace_activity) {
     activity.cycles_at_1.assign(ffs.size(), 0);
     activity.state_changes.assign(ffs.size(), 0);
-    prev_q.resize(ffs.size());
+    prev_q_.resize(ffs.size());
     for (std::size_t i = 0; i < ffs.size(); ++i) {
-      prev_q[i] = simulator.ff_state(ffs[i]);
+      prev_q_[i] = sim_.ff_state(ffs[i]);
     }
   }
 
   // Loopback registers, driven with their idle value on the first cycle.
-  std::vector<Lanes> loop_values(tb.loopbacks.size());
+  loop_values_.resize(tb.loopbacks.size());
   for (std::size_t i = 0; i < tb.loopbacks.size(); ++i) {
-    loop_values[i] = broadcast(tb.loopbacks[i].initial);
+    loop_values_[i] = broadcast(tb.loopbacks[i].initial);
   }
 
   std::size_t next_event = 0;
   const auto pis = nl.primary_inputs();
-  for (std::size_t cycle = 0; cycle < stim.num_cycles(); ++cycle) {
+  for (std::size_t cycle = 0; cycle < num_cycles; ++cycle) {
     for (std::size_t i = 0; i < pis.size(); ++i) {
-      simulator.set_input(pis[i], broadcast(stim.get(i, cycle)));
+      sim_.set_input(pis[i], stim_->input(cycle, i));
     }
     for (std::size_t i = 0; i < tb.loopbacks.size(); ++i) {
-      simulator.set_input(tb.loopbacks[i].to_input, loop_values[i]);
+      sim_.set_input(tb.loopbacks[i].to_input, loop_values_[i]);
     }
-    while (next_event < schedule.size() && schedule[next_event].cycle == cycle) {
-      simulator.inject(schedule[next_event].ff_cell, schedule[next_event].lane_mask);
+    while (next_event < schedule_.size() && schedule_[next_event].cycle == cycle) {
+      sim_.inject(schedule_[next_event].ff_cell, schedule_[next_event].lane_mask);
       ++next_event;
     }
-    simulator.eval();
-    monitor.observe(simulator, cycle);
+    sim_.eval();
+    monitor.observe(sim_, cycle);
     if (options.trace_activity) {
       for (std::size_t i = 0; i < ffs.size(); ++i) {
-        const Lanes q = simulator.ff_state(ffs[i]);
+        const Lanes q = sim_.ff_state(ffs[i]);
         activity.cycles_at_1[i] += q & 1u;
-        activity.state_changes[i] += (q ^ prev_q[i]) & 1u;
-        prev_q[i] = q;
+        activity.state_changes[i] += (q ^ prev_q_[i]) & 1u;
+        prev_q_[i] = q;
       }
     }
     for (std::size_t i = 0; i < tb.loopbacks.size(); ++i) {
-      loop_values[i] = simulator.value(tb.loopbacks[i].from_net);
+      loop_values_[i] = sim_.value(tb.loopbacks[i].from_net);
     }
-    simulator.tick();
+    sim_.tick();
   }
-  if (options.trace_activity) activity.total_cycles = stim.num_cycles();
+  if (options.trace_activity) activity.total_cycles = num_cycles;
 
   RunResult result;
   result.lane_frames = monitor.finish();
   result.activity = std::move(activity);
-  result.eval_count = simulator.eval_count();
+  result.eval_count = sim_.eval_count() - evals_before;
   return result;
+}
+
+RunResult run_testbench(const netlist::Netlist& nl, const Testbench& tb,
+                        std::span<const InjectionEvent> injections,
+                        const RunOptions& options) {
+  const CompiledStimulus stimulus(nl, tb);
+  ReplayRunner runner(stimulus);
+  return runner.run(injections, options);
 }
 
 GoldenResult run_golden(const netlist::Netlist& nl, const Testbench& tb) {

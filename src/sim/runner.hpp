@@ -45,6 +45,55 @@ struct RunOptions {
                                       std::span<const InjectionEvent> injections = {},
                                       const RunOptions& options = {});
 
+/// Precompiled, shareable stimulus for one (netlist, testbench) pair:
+/// validates the waveform/PI binding once and pre-broadcasts every input
+/// sample into a 64-lane word, so a replay pass skips the per-cycle
+/// bool -> Lanes expansion. Holds references; the netlist and testbench must
+/// outlive it. Immutable after construction, so one instance can feed many
+/// ReplayRunners concurrently.
+class CompiledStimulus {
+ public:
+  /// \throws std::invalid_argument on a stimulus/PI count mismatch.
+  CompiledStimulus(const netlist::Netlist& nl, const Testbench& tb);
+
+  [[nodiscard]] const netlist::Netlist& netlist() const noexcept { return *nl_; }
+  [[nodiscard]] const Testbench& testbench() const noexcept { return *tb_; }
+  [[nodiscard]] std::size_t num_cycles() const noexcept { return num_cycles_; }
+
+  /// Broadcast value of the pi-th primary input at `cycle`.
+  [[nodiscard]] Lanes input(std::size_t cycle, std::size_t pi) const noexcept {
+    return waves_[cycle * num_pis_ + pi];
+  }
+
+ private:
+  const netlist::Netlist* nl_;
+  const Testbench* tb_;
+  std::size_t num_pis_ = 0;
+  std::size_t num_cycles_ = 0;
+  std::vector<Lanes> waves_;  // cycle-major
+};
+
+/// Reusable testbench driver for campaign passes: owns one PackedSimulator,
+/// so the levelized op list is built once and only reset + replayed per
+/// run(). A run's observable behaviour (frames, activity, eval accounting)
+/// is bit-identical to a fresh run_testbench() call with the same inputs.
+/// Not thread-safe; use one runner per worker.
+class ReplayRunner {
+ public:
+  explicit ReplayRunner(const CompiledStimulus& stimulus);
+
+  /// Replays the full testbench with the given fault schedule.
+  [[nodiscard]] RunResult run(std::span<const InjectionEvent> injections = {},
+                              const RunOptions& options = {});
+
+ private:
+  const CompiledStimulus* stim_;
+  PackedSimulator sim_;
+  std::vector<InjectionEvent> schedule_;  // scratch, reused across runs
+  std::vector<Lanes> loop_values_;        // scratch
+  std::vector<Lanes> prev_q_;             // scratch for activity tracing
+};
+
 /// Fault-free reference run: frames of lane 0 plus the activity trace.
 struct GoldenResult {
   FrameList frames;

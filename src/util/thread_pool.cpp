@@ -60,18 +60,31 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& body) {
+  parallel_for_chunked(count, 1,
+                       [&body](std::size_t begin, std::size_t end, std::size_t) {
+                         for (std::size_t i = begin; i < end; ++i) body(i);
+                       });
+}
+
+void ThreadPool::parallel_for_chunked(
+    std::size_t count, std::size_t chunk_size,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
   if (count == 0) return;
+  if (chunk_size == 0) chunk_size = std::max<std::size_t>(1, count / (size() * 8));
+  const std::size_t num_chunks = (count + chunk_size - 1) / chunk_size;
   std::atomic<std::size_t> next{0};
   std::exception_ptr first_error;
   std::mutex error_mutex;
-  const std::size_t lanes = std::min(count, size());
+  const std::size_t lanes = std::min(num_chunks, size());
   for (std::size_t lane = 0; lane < lanes; ++lane) {
-    submit([&] {
+    submit([&, lane] {
       for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= count) return;
+        const std::size_t chunk = next.fetch_add(1, std::memory_order_relaxed);
+        if (chunk >= num_chunks) return;
+        const std::size_t begin = chunk * chunk_size;
+        const std::size_t end = std::min(count, begin + chunk_size);
         try {
-          body(i);
+          body(begin, end, lane);
         } catch (...) {
           const std::lock_guard lock(error_mutex);
           if (!first_error) first_error = std::current_exception();

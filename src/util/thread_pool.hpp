@@ -34,6 +34,16 @@ class ThreadPool {
   /// Exceptions thrown by `body` are rethrown (first one wins) on the caller.
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
 
+  /// Chunked work-stealing variant: items [0, count) are claimed in chunks of
+  /// `chunk_size` (0 = auto: ~8 chunks per worker) from a shared atomic
+  /// counter, and body(begin, end, worker) is invoked once per claimed chunk.
+  /// `worker` is a stable slot index in [0, size()), so callers can keep
+  /// per-worker state (e.g. a reusable simulator) without locking.
+  /// Exceptions thrown by `body` are rethrown (first one wins) on the caller.
+  void parallel_for_chunked(
+      std::size_t count, std::size_t chunk_size,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
+
  private:
   void worker_loop();
 

@@ -1,0 +1,256 @@
+// Differential and determinism tests for the batched CampaignEngine
+// (fault/engine.hpp): the engine must reproduce the flat run_campaign
+// per-flip-flop results bit-exactly for the same seed, across circuits, and
+// its output must be invariant under every threading / batching choice —
+// scheduling can never change science output. Also covers the cached-golden
+// estimation-flow overload and the ReplayRunner reuse contract.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "circuits/mac_core.hpp"
+#include "circuits/mac_testbench.hpp"
+#include "circuits/pipeline_core.hpp"
+#include "core/estimation_flow.hpp"
+#include "fault/campaign.hpp"
+#include "fault/engine.hpp"
+#include "sim/runner.hpp"
+
+namespace ffr::fault {
+namespace {
+
+void expect_bit_identical(const CampaignResult& a, const CampaignResult& b) {
+  ASSERT_EQ(a.per_ff.size(), b.per_ff.size());
+  for (std::size_t i = 0; i < a.per_ff.size(); ++i) {
+    EXPECT_EQ(a.per_ff[i].ff_index, b.per_ff[i].ff_index) << "ff " << i;
+    EXPECT_EQ(a.per_ff[i].name, b.per_ff[i].name) << "ff " << i;
+    EXPECT_EQ(a.per_ff[i].injections, b.per_ff[i].injections) << "ff " << i;
+    EXPECT_EQ(a.per_ff[i].classes.counts, b.per_ff[i].classes.counts)
+        << "ff " << i << " (" << a.per_ff[i].name << ")";
+  }
+  const auto fdr_a = a.fdr_vector();
+  const auto fdr_b = b.fdr_vector();
+  ASSERT_EQ(fdr_a.size(), fdr_b.size());
+  for (std::size_t i = 0; i < fdr_a.size(); ++i) {
+    // Bit-exact, not approximately equal: both sides divide identical
+    // integer counts.
+    EXPECT_EQ(fdr_a[i], fdr_b[i]) << "ff " << i;
+  }
+  EXPECT_EQ(a.total_injections, b.total_injections);
+}
+
+struct MacEngineFixture : public ::testing::Test {
+  static void SetUpTestSuite() {
+    circuits::MacConfig mc;
+    mc.tx_depth_log2 = 3;
+    mc.rx_depth_log2 = 3;
+    mac = new circuits::MacCore(circuits::build_mac_core(mc));
+    circuits::MacTestbenchConfig tbc;
+    tbc.num_frames = 3;
+    tbc.min_payload = 8;
+    tbc.max_payload = 16;
+    tbc.seed = 5;
+    bench = new circuits::MacTestbench(circuits::build_mac_testbench(*mac, tbc));
+    engine = new CampaignEngine(mac->netlist, bench->tb);
+  }
+  static void TearDownTestSuite() {
+    delete engine;
+    engine = nullptr;
+    delete bench;
+    bench = nullptr;
+    delete mac;
+    mac = nullptr;
+  }
+  static circuits::MacCore* mac;
+  static circuits::MacTestbench* bench;
+  static CampaignEngine* engine;
+};
+
+circuits::MacCore* MacEngineFixture::mac = nullptr;
+circuits::MacTestbench* MacEngineFixture::bench = nullptr;
+CampaignEngine* MacEngineFixture::engine = nullptr;
+
+TEST_F(MacEngineFixture, GoldenMatchesRunGolden) {
+  const sim::GoldenResult reference = sim::run_golden(mac->netlist, bench->tb);
+  const sim::GoldenResult& cached = engine->golden();
+  EXPECT_EQ(cached.frames, reference.frames);
+  EXPECT_EQ(cached.activity.cycles_at_1, reference.activity.cycles_at_1);
+  EXPECT_EQ(cached.activity.state_changes, reference.activity.state_changes);
+  EXPECT_EQ(cached.activity.total_cycles, reference.activity.total_cycles);
+  EXPECT_EQ(cached.eval_count, reference.eval_count);
+}
+
+TEST_F(MacEngineFixture, BitExactWithFlatCampaignOnMac) {
+  CampaignConfig config;
+  config.injections_per_ff = 48;
+  for (std::size_t i = 0; i < mac->netlist.num_flip_flops(); i += 9) {
+    config.ff_subset.push_back(i);
+  }
+  const CampaignResult flat =
+      run_campaign(mac->netlist, bench->tb, engine->golden(), config);
+  const CampaignResult batched = engine->run(config);
+  expect_bit_identical(flat, batched);
+}
+
+TEST_F(MacEngineFixture, PacksLanesAcrossFlipFlops) {
+  CampaignConfig config;
+  config.injections_per_ff = 48;  // flat: 1 pass per FF, 16 idle lanes each
+  config.ff_subset = {0, 3, 7, 11, 20, 33, 40, 55};
+  const CampaignResult flat =
+      run_campaign(mac->netlist, bench->tb, engine->golden(), config);
+  const CampaignResult batched = engine->run(config);
+  // 8 x 48 = 384 injections: flat needs 8 passes, batched ceil(384/64) = 6.
+  EXPECT_EQ(flat.total_sim_passes, 8u);
+  EXPECT_EQ(batched.total_sim_passes, 6u);
+  expect_bit_identical(flat, batched);
+}
+
+TEST_F(MacEngineFixture, DeterministicAcrossThreadsAndBatchSizes) {
+  CampaignConfig base;
+  base.injections_per_ff = 24;
+  base.ff_subset = {1, 2, 5, 30, 60, 90, 120, 150};
+  const CampaignResult reference = engine->run(base);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{0}}) {
+    for (const std::size_t batch :
+         {std::size_t{0}, std::size_t{1}, std::size_t{3}, std::size_t{64}}) {
+      CampaignConfig config = base;
+      config.num_threads = threads;
+      config.batch_size = batch;
+      const CampaignResult result = engine->run(config);
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " batch=" + std::to_string(batch));
+      expect_bit_identical(reference, result);
+      EXPECT_EQ(result.total_sim_passes, reference.total_sim_passes);
+    }
+  }
+}
+
+TEST_F(MacEngineFixture, SubsetOrderIndependent) {
+  CampaignConfig config;
+  config.injections_per_ff = 16;
+  config.ff_subset = {7, 90};
+  const CampaignResult a = engine->run(config);
+  config.ff_subset = {90, 7, 33};
+  const CampaignResult b = engine->run(config);
+  EXPECT_EQ(a.per_ff[0].classes.counts, b.per_ff[1].classes.counts);  // ff 7
+  EXPECT_EQ(a.per_ff[1].classes.counts, b.per_ff[0].classes.counts);  // ff 90
+}
+
+TEST_F(MacEngineFixture, RunCachedRoundTrips) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "ffr_engine_cache_test.csv";
+  std::filesystem::remove(path);
+  CampaignConfig config;
+  config.injections_per_ff = 8;
+  config.ff_subset = {0, 1, 2};
+  const CampaignResult first = engine->run_cached(config, path);
+  ASSERT_TRUE(std::filesystem::exists(path));
+  const CampaignResult second = engine->run_cached(config, path);
+  expect_bit_identical(first, second);
+  std::filesystem::remove(path);
+}
+
+TEST_F(MacEngineFixture, FlowOverloadMatchesStandaloneFlow) {
+  core::FlowConfig config;
+  config.training_size = 0.25;
+  config.injections_per_ff = 24;
+  config.model = "knn_paper";
+  const core::FlowResult standalone =
+      core::run_estimation_flow(mac->netlist, bench->tb, config);
+  const core::FlowResult reused = core::run_estimation_flow(*engine, config);
+  ASSERT_EQ(standalone.fdr.size(), reused.fdr.size());
+  for (std::size_t i = 0; i < standalone.fdr.size(); ++i) {
+    EXPECT_EQ(standalone.fdr[i], reused.fdr[i]) << "ff " << i;
+  }
+  EXPECT_EQ(standalone.train_indices, reused.train_indices);
+  EXPECT_EQ(standalone.injections_spent, reused.injections_spent);
+}
+
+TEST_F(MacEngineFixture, RepeatedFlowInvocationsReuseGoldenDeterministically) {
+  core::FlowConfig config;
+  config.training_size = 0.2;
+  config.injections_per_ff = 16;
+  const core::FlowResult a = core::run_estimation_flow(*engine, config);
+  const core::FlowResult b = core::run_estimation_flow(*engine, config);
+  ASSERT_EQ(a.fdr.size(), b.fdr.size());
+  for (std::size_t i = 0; i < a.fdr.size(); ++i) {
+    EXPECT_EQ(a.fdr[i], b.fdr[i]) << "ff " << i;
+  }
+}
+
+TEST_F(MacEngineFixture, ReplayRunnerIsBitExactAcrossReuse) {
+  // The engine's per-worker simulator reuse rests on this contract: a
+  // ReplayRunner's n-th run equals a fresh run_testbench with the same
+  // schedule, including after interleaved fault runs.
+  const sim::CompiledStimulus stimulus(mac->netlist, bench->tb);
+  sim::ReplayRunner runner(stimulus);
+  const sim::RunResult clean_first = runner.run();
+  sim::InjectionEvent ev;
+  ev.ff_cell = mac->netlist.flip_flops()[3];
+  ev.cycle = static_cast<std::uint32_t>(bench->tb.inject_begin + 5);
+  ev.lane_mask = 0x10;
+  const sim::InjectionEvent events[] = {ev};
+  const sim::RunResult faulty = runner.run(events);
+  const sim::RunResult clean_again = runner.run();
+  const sim::RunResult reference = sim::run_testbench(mac->netlist, bench->tb);
+  for (std::size_t lane = 0; lane < sim::kNumLanes; ++lane) {
+    EXPECT_EQ(clean_first.lane_frames[lane], reference.lane_frames[lane]);
+    EXPECT_EQ(clean_again.lane_frames[lane], reference.lane_frames[lane]);
+  }
+  EXPECT_EQ(clean_first.eval_count, reference.eval_count);
+  EXPECT_EQ(clean_again.eval_count, reference.eval_count);
+  // The faulted lane differs from golden somewhere or classifies as OK —
+  // either way the other 63 lanes must still match the clean run.
+  for (std::size_t lane = 0; lane < sim::kNumLanes; ++lane) {
+    if (lane == 4) continue;
+    EXPECT_EQ(faulty.lane_frames[lane], reference.lane_frames[lane]);
+  }
+}
+
+TEST_F(MacEngineFixture, EmptyWindowRejected) {
+  sim::Testbench bad = bench->tb;
+  bad.inject_end = bad.inject_begin;
+  CampaignEngine bad_engine(mac->netlist, bad);
+  EXPECT_THROW((void)bad_engine.run({}), std::invalid_argument);
+}
+
+TEST_F(MacEngineFixture, OutOfRangeSubsetRejected) {
+  CampaignConfig config;
+  config.ff_subset = {mac->netlist.num_flip_flops()};
+  EXPECT_THROW((void)engine->run(config), std::out_of_range);
+}
+
+// ---- second circuit: the pipeline datapath --------------------------------------
+
+TEST(PipelineEngine, BitExactWithFlatCampaign) {
+  const circuits::PipelineCore core = circuits::build_pipeline_core();
+  const circuits::PipelineTestbench bench =
+      circuits::build_pipeline_testbench(core);
+  CampaignEngine engine(core.netlist, bench.tb);
+  CampaignConfig config;
+  config.injections_per_ff = 32;
+  const CampaignResult flat =
+      run_campaign(core.netlist, bench.tb, engine.golden(), config);
+  const CampaignResult batched = engine.run(config);
+  expect_bit_identical(flat, batched);
+  EXPECT_LE(batched.total_sim_passes, flat.total_sim_passes);
+}
+
+TEST(PipelineEngine, DeterministicAcrossThreads) {
+  const circuits::PipelineCore core = circuits::build_pipeline_core();
+  const circuits::PipelineTestbench bench =
+      circuits::build_pipeline_testbench(core);
+  CampaignEngine engine(core.netlist, bench.tb);
+  CampaignConfig config;
+  config.injections_per_ff = 16;
+  config.num_threads = 1;
+  const CampaignResult single = engine.run(config);
+  config.num_threads = 0;  // hardware concurrency
+  config.batch_size = 2;
+  const CampaignResult parallel = engine.run(config);
+  expect_bit_identical(single, parallel);
+}
+
+}  // namespace
+}  // namespace ffr::fault

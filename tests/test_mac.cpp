@@ -31,7 +31,7 @@ MacTestbenchConfig small_tb_config() {
 TEST(Residue, MatchesSoftwareCrcForAnyMessage) {
   // Processing message+FCS must land the CRC register on the same residue
   // regardless of message content.
-  const std::uint32_t residue = crc32_residue();
+  const std::uint32_t residue = rtl::crc32_residue();
   for (const std::size_t len : {0u, 1u, 7u, 64u}) {
     std::vector<std::uint8_t> msg(len);
     for (std::size_t i = 0; i < len; ++i) msg[i] = static_cast<std::uint8_t>(i * 37);
