@@ -2,9 +2,12 @@
 // flip-flop FDR from N random-time injections, with the failure-class
 // breakdown, the FDR distribution histogram, per-block FDR summary, and
 // simulation throughput (the cost the ML methodology amortizes) — then
-// benchmarks the batched CampaignEngine against the flat campaign on the
-// paper-scale relay circuit (≥947 FFs) and sweeps the thread / batch-size
-// scheduling knobs.
+// benchmarks the CampaignEngine replay modes (full / checkpoint /
+// incremental) against the flat campaign on the paper-scale relay circuit
+// (≥947 FFs), reports the simulated-cycle and op-evaluation savings, sweeps
+// the thread / batch-size scheduling knobs and emits every measurement as
+// machine-readable JSON (BENCH_sfi_campaign.json) so the perf trajectory is
+// tracked across PRs.
 //
 // Environment knobs (besides bench_common's):
 //   FFR_SWEEP_INJECTIONS  injections per FF for the scheduling sweep
@@ -14,13 +17,63 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "bench/bench_common.hpp"
 #include "circuits/relay_core.hpp"
 #include "fault/engine.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table_printer.hpp"
+
+namespace {
+
+// One benchmark measurement, serialized to BENCH_sfi_campaign.json.
+struct BenchRecord {
+  std::string circuit;
+  std::string mode;  // "flat" or a fault::ReplayMode name
+  std::size_t threads = 0;
+  std::size_t batch = 0;
+  std::size_t checkpoint_interval = 0;
+  std::size_t injections_per_ff = 0;
+  ffr::fault::CampaignResult result;
+};
+
+void write_bench_json(const char* path, const std::vector<BenchRecord>& records) {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    const ffr::fault::CampaignResult& c = r.result;
+    std::fprintf(
+        f,
+        "  {\"circuit\": \"%s\", \"mode\": \"%s\", \"threads\": %zu, "
+        "\"batch\": %zu, \"checkpoint_interval\": %zu, "
+        "\"injections_per_ff\": %zu, \"injections\": %llu, \"passes\": %llu, "
+        "\"cycles_simulated\": %llu, \"ops_evaluated\": %llu, "
+        "\"checkpoint_restores\": %llu, \"wall_seconds\": %.6f, "
+        "\"mean_fdr\": %.9f}%s\n",
+        r.circuit.c_str(), r.mode.c_str(), r.threads, r.batch,
+        r.checkpoint_interval, r.injections_per_ff,
+        static_cast<unsigned long long>(c.total_injections),
+        static_cast<unsigned long long>(c.total_sim_passes),
+        static_cast<unsigned long long>(c.cycles_simulated),
+        static_cast<unsigned long long>(c.ops_evaluated),
+        static_cast<unsigned long long>(c.checkpoint_restores), c.wall_seconds,
+        c.mean_fdr(), i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("\nmachine-readable results -> %s (%zu records)\n", path,
+              records.size());
+}
+
+}  // namespace
 
 int main() {
   using namespace ffr;
@@ -102,34 +155,67 @@ int main() {
                                            {{"fdr", ctx.fdr}});
   std::printf("\nper-FF FDR series -> %s\n", csv.string().c_str());
 
-  // ---- paper-scale campaign: flat vs batched engine ----------------------------
+  // ---- paper-scale campaign: flat vs engine replay modes -----------------------
 
-  std::printf("\n== Paper-scale campaign: relay_core (flat vs batched engine) ==\n");
+  std::printf("\n== Paper-scale campaign: relay_core (flat vs engine modes) ==\n");
   const circuits::RelayCore relay = circuits::build_relay_core();
   const circuits::RelayTestbench relay_tb = circuits::build_relay_testbench(relay);
-  std::printf("# %s\n", relay.netlist.summary().c_str());
+  std::printf("# %s (%zu-cycle testbench)\n", relay.netlist.summary().c_str(),
+              relay_tb.tb.stimulus.num_cycles());
 
   util::Stopwatch stopwatch;
   fault::CampaignEngine engine(relay.netlist, relay_tb.tb);
-  std::printf("# engine precompute (compiled stimulus + golden run): %.2fs\n",
+  std::printf("# engine precompute (compiled stimulus + golden run + "
+              "checkpoints): %.2fs\n",
               stopwatch.elapsed_seconds());
 
+  std::vector<BenchRecord> records;
   fault::CampaignConfig full;
   full.injections_per_ff = ctx.injections_per_ff;
   const fault::CampaignResult flat =
       fault::run_campaign(relay.netlist, relay_tb.tb, engine.golden(), full);
-  const fault::CampaignResult batched = engine.run(full);
-  util::TablePrinter headline(
-      {"campaign", "injections", "sim passes", "wall[s]", "mean FDR"});
-  for (const auto& [name, result] :
-       {std::pair<const char*, const fault::CampaignResult&>{"flat", flat},
-        {"batched", batched}}) {
-    headline.add_row({name, std::to_string(result.total_injections),
-                      std::to_string(result.total_sim_passes),
-                      util::TablePrinter::format(result.wall_seconds, 2),
-                      util::TablePrinter::format(result.mean_fdr(), 4)});
+  records.push_back({"relay_core", "flat", full.num_threads, 0, 0,
+                     full.injections_per_ff, flat});
+
+  util::TablePrinter headline({"campaign", "injections", "sim passes",
+                               "cycles[M]", "ops[G]", "wall[s]", "mean FDR"});
+  const auto add_headline = [&](const char* name,
+                                const fault::CampaignResult& result) {
+    headline.add_row(
+        {name, std::to_string(result.total_injections),
+         std::to_string(result.total_sim_passes),
+         util::TablePrinter::format(
+             static_cast<double>(result.cycles_simulated) * 1e-6, 2),
+         util::TablePrinter::format(
+             static_cast<double>(result.ops_evaluated) * 1e-9, 2),
+         util::TablePrinter::format(result.wall_seconds, 2),
+         util::TablePrinter::format(result.mean_fdr(), 4)});
+  };
+  add_headline("flat", flat);
+
+  std::map<fault::ReplayMode, fault::CampaignResult> by_mode;
+  for (const fault::ReplayMode mode :
+       {fault::ReplayMode::kFull, fault::ReplayMode::kCheckpoint,
+        fault::ReplayMode::kIncremental}) {
+    fault::CampaignConfig config = full;
+    config.replay_mode = mode;
+    const fault::CampaignResult result = engine.run(config);
+    add_headline(fault::to_string(mode), result);
+    records.push_back({"relay_core", fault::to_string(mode),
+                       config.num_threads, config.batch_size,
+                       config.checkpoint_interval, config.injections_per_ff,
+                       result});
+    by_mode.emplace(mode, result);
   }
   headline.print();
+
+  const fault::CampaignResult& batched = by_mode.at(fault::ReplayMode::kFull);
+  const fault::CampaignResult& incremental =
+      by_mode.at(fault::ReplayMode::kIncremental);
+  bool identical = true;
+  for (const auto& [mode, result] : by_mode) {
+    identical = identical && flat.fdr_vector() == result.fdr_vector();
+  }
   std::printf("pass reduction: %.1f%% fewer 64-lane passes (%llu -> %llu), "
               "FDR vectors %s\n",
               100.0 *
@@ -137,8 +223,22 @@ int main() {
                              static_cast<double>(flat.total_sim_passes)),
               static_cast<unsigned long long>(flat.total_sim_passes),
               static_cast<unsigned long long>(batched.total_sim_passes),
-              flat.fdr_vector() == batched.fdr_vector() ? "bit-identical"
-                                                        : "DIVERGED (BUG)");
+              identical ? "bit-identical" : "DIVERGED (BUG)");
+  std::printf("incremental vs batched-full (PR 2 baseline): %.2fx wall "
+              "(%.2fs -> %.2fs), %.1f%% fewer simulated cycles "
+              "(%llu -> %llu), %.1f%% fewer op evaluations (%llu -> %llu), "
+              "%llu checkpoint restores\n",
+              batched.wall_seconds / incremental.wall_seconds,
+              batched.wall_seconds, incremental.wall_seconds,
+              100.0 * (1.0 - static_cast<double>(incremental.cycles_simulated) /
+                                 static_cast<double>(batched.cycles_simulated)),
+              static_cast<unsigned long long>(batched.cycles_simulated),
+              static_cast<unsigned long long>(incremental.cycles_simulated),
+              100.0 * (1.0 - static_cast<double>(incremental.ops_evaluated) /
+                                 static_cast<double>(batched.ops_evaluated)),
+              static_cast<unsigned long long>(batched.ops_evaluated),
+              static_cast<unsigned long long>(incremental.ops_evaluated),
+              static_cast<unsigned long long>(incremental.checkpoint_restores));
 
   // ---- scheduling sweep: threads x batch size ----------------------------------
 
@@ -147,8 +247,9 @@ int main() {
     sweep_injections = static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
   }
   const std::size_t hardware = std::thread::hardware_concurrency();
-  std::printf("\nscheduling sweep (%zu injections/FF, hardware = %zu threads; "
-              "pure scheduling knobs — results are identical in every cell):\n",
+  std::printf("\nscheduling sweep (%zu injections/FF, incremental replay, "
+              "hardware = %zu threads; pure scheduling knobs — results are "
+              "identical in every cell):\n",
               sweep_injections, hardware);
   fault::CampaignConfig sweep;
   sweep.injections_per_ff = sweep_injections;
@@ -165,9 +266,14 @@ int main() {
       sweep.batch_size = batch;
       const fault::CampaignResult r = engine.run(sweep);
       row.push_back(util::TablePrinter::format(r.wall_seconds, 2) + "s");
+      records.push_back({"relay_core", fault::to_string(sweep.replay_mode),
+                         threads, batch, sweep.checkpoint_interval,
+                         sweep.injections_per_ff, r});
     }
     sweep_table.add_row(std::move(row));
   }
   sweep_table.print();
+
+  write_bench_json("BENCH_sfi_campaign.json", records);
   return 0;
 }

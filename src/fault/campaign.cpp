@@ -152,6 +152,8 @@ CampaignResult run_campaign(const netlist::Netlist& nl, const sim::Testbench& tb
   CampaignResult result;
   result.per_ff.resize(subset.size());
   std::vector<std::uint64_t> passes(subset.size(), 0);
+  std::vector<std::uint64_t> sim_cycles(subset.size(), 0);
+  std::vector<std::uint64_t> sim_ops(subset.size(), 0);
 
   util::ThreadPool pool(config.num_threads);
   pool.parallel_for(subset.size(), [&](std::size_t task) {
@@ -183,11 +185,15 @@ CampaignResult run_campaign(const netlist::Netlist& nl, const sim::Testbench& tb
         ff_result.classes.add(classify(golden.frames, run.lane_frames[lane]));
       }
       ++passes[task];
+      sim_cycles[task] += run.cycles_simulated;
+      sim_ops[task] += run.ops_evaluated;
     }
     result.per_ff[task] = std::move(ff_result);
   });
 
   for (const auto p : passes) result.total_sim_passes += p;
+  for (const auto c : sim_cycles) result.cycles_simulated += c;
+  for (const auto o : sim_ops) result.ops_evaluated += o;
   for (const FfResult& ff : result.per_ff) result.total_injections += ff.injections;
   result.wall_seconds = stopwatch.elapsed_seconds();
   return result;

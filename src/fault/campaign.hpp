@@ -26,6 +26,31 @@
 
 namespace ffr::fault {
 
+/// How the batched CampaignEngine replays each 64-lane fault pass. Every
+/// mode produces bit-identical per-flip-flop class counts and FDR vectors;
+/// they differ only in simulated work. The flat run_campaign() ignores this
+/// knob (it always replays in full — it is the differential reference).
+enum class ReplayMode {
+  /// Replay every pass from reset and evaluate the full op list each cycle
+  /// (the PR 2 batched-engine behaviour; kept as the perf baseline).
+  kFull,
+  /// Restore the latest golden checkpoint at or before the pass's earliest
+  /// injection and fast-forward from there, full eval per cycle.
+  kCheckpoint,
+  /// kCheckpoint plus dirty-set evaluation: post-injection cycles touch only
+  /// the divergence cone instead of every op. The default.
+  kIncremental,
+};
+
+[[nodiscard]] constexpr const char* to_string(ReplayMode mode) noexcept {
+  switch (mode) {
+    case ReplayMode::kFull: return "full";
+    case ReplayMode::kCheckpoint: return "checkpoint";
+    case ReplayMode::kIncremental: return "incremental";
+  }
+  return "?";
+}
+
 /// Tunables of one campaign; defaults reproduce the paper's setting.
 struct CampaignConfig {
   /// Single-event upsets injected per flip-flop (paper: 170).
@@ -38,6 +63,15 @@ struct CampaignConfig {
   /// CampaignEngine (0 = auto). Pure scheduling knob: results are identical
   /// for every value. Ignored by the flat run_campaign().
   std::size_t batch_size = 0;
+  /// Replay strategy of the batched CampaignEngine (see ReplayMode). Pure
+  /// cost knob: results are bit-identical in every mode. Ignored by the
+  /// flat run_campaign().
+  ReplayMode replay_mode = ReplayMode::kIncremental;
+  /// Cycles between golden-state checkpoints used by kCheckpoint /
+  /// kIncremental replay. CampaignEngine::run rejects 0 and values larger
+  /// than the testbench with std::invalid_argument. Pure cost knob: results
+  /// are bit-identical for every valid value. Ignored by run_campaign().
+  std::size_t checkpoint_interval = 16;
   /// Restrict the campaign to these flip-flop indices (positions within
   /// Netlist::flip_flops()). Empty = all flip-flops.
   std::vector<std::size_t> ff_subset;
@@ -65,6 +99,15 @@ struct CampaignResult {
   std::vector<FfResult> per_ff;        ///< One entry per targeted flip-flop.
   std::uint64_t total_injections = 0;  ///< Upsets injected overall.
   std::uint64_t total_sim_passes = 0;  ///< 64-lane simulator passes used.
+  /// Clock cycles actually advanced across all passes — with checkpointed
+  /// replay this is the post-restore suffix only, so it measures the
+  /// incremental-replay saving against passes * testbench_length.
+  std::uint64_t cycles_simulated = 0;
+  /// Individual gate evaluations across all passes; dirty-set evaluation
+  /// shrinks this without changing cycles_simulated.
+  std::uint64_t ops_evaluated = 0;
+  /// Passes that resumed from a checkpoint later than cycle 0.
+  std::uint64_t checkpoint_restores = 0;
   double wall_seconds = 0.0;           ///< Campaign wall-clock time.
 
   /// FDR values in per_ff order.

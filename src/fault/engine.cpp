@@ -2,27 +2,82 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ffr::fault {
 
+namespace {
+
+void validate_checkpoint_interval(std::size_t interval, std::size_t num_cycles) {
+  if (interval == 0) {
+    throw std::invalid_argument(
+        "CampaignEngine: checkpoint_interval must be >= 1");
+  }
+  if (interval > num_cycles) {
+    throw std::invalid_argument(
+        "CampaignEngine: checkpoint_interval (" + std::to_string(interval) +
+        ") exceeds the " + std::to_string(num_cycles) + "-cycle testbench");
+  }
+}
+
+}  // namespace
+
 CampaignEngine::CampaignEngine(const netlist::Netlist& nl, const sim::Testbench& tb)
     : nl_(&nl), tb_(&tb), stimulus_(nl, tb) {
   sim::ReplayRunner runner(stimulus_);
   sim::RunOptions options;
   options.trace_activity = true;
+  // Record checkpoints during the one golden run the engine pays anyway.
+  // Short testbenches clamp the default interval; run() still validates the
+  // caller's interval strictly.
+  auto checkpoints = std::make_shared<sim::GoldenCheckpoints>();
+  const std::size_t num_cycles = stimulus_.num_cycles();
+  if (num_cycles > 0) {
+    checkpoints->interval =
+        std::min(CampaignConfig{}.checkpoint_interval, num_cycles);
+    options.record = checkpoints.get();
+  }
   sim::RunResult run = runner.run({}, options);
   golden_.frames = std::move(run.lane_frames[0]);
   golden_.activity = std::move(run.activity);
   golden_.eval_count = run.eval_count;
+  if (options.record != nullptr) {
+    checkpoints_by_interval_[checkpoints->interval] = std::move(checkpoints);
+  }
+}
+
+std::shared_ptr<const sim::GoldenCheckpoints> CampaignEngine::checkpoints(
+    std::size_t interval) const {
+  validate_checkpoint_interval(interval, stimulus_.num_cycles());
+  {
+    std::lock_guard<std::mutex> lock(checkpoints_mutex_);
+    auto it = checkpoints_by_interval_.find(interval);
+    if (it != checkpoints_by_interval_.end()) return it->second;
+  }
+  // Record outside the lock: a golden replay takes a while at paper scale
+  // and must not serialize concurrent run() calls. If two threads race on
+  // the same interval, one recording wins and the other is dropped —
+  // snapshots for a given interval are identical either way.
+  auto fresh = std::make_shared<sim::GoldenCheckpoints>();
+  fresh->interval = interval;
+  sim::ReplayRunner runner(stimulus_);
+  sim::RunOptions options;
+  options.record = fresh.get();
+  (void)runner.run({}, options);
+  std::lock_guard<std::mutex> lock(checkpoints_mutex_);
+  return checkpoints_by_interval_.emplace(interval, std::move(fresh))
+      .first->second;
 }
 
 CampaignResult CampaignEngine::run(const CampaignConfig& config) const {
   if (tb_->inject_end <= tb_->inject_begin) {
     throw std::invalid_argument("CampaignEngine::run: empty injection window");
   }
+  validate_checkpoint_interval(config.checkpoint_interval,
+                               stimulus_.num_cycles());
   const auto ffs = nl_->flip_flops();
   const std::vector<std::size_t> subset = resolve_ff_subset(config, ffs.size());
 
@@ -52,6 +107,19 @@ CampaignResult CampaignEngine::run(const CampaignConfig& config) const {
     }
   }
 
+  // Checkpointed replay starts each pass at the latest checkpoint before its
+  // EARLIEST injection, so the saving is governed by the slowest lane:
+  // sorting jobs by injection cycle makes the 64 lanes of one pass share a
+  // late start. The stable sort keeps job order deterministic; per-job
+  // outcomes are lane-independent, so sorting can never change the science.
+  const bool checkpointed = config.replay_mode != ReplayMode::kFull;
+  if (checkpointed) {
+    std::stable_sort(jobs.begin(), jobs.end(),
+                     [](const Job& a, const Job& b) { return a.cycle < b.cycle; });
+  }
+  const std::shared_ptr<const sim::GoldenCheckpoints> ckpts =
+      checkpointed ? checkpoints(config.checkpoint_interval) : nullptr;
+
   const std::size_t num_passes =
       (jobs.size() + sim::kNumLanes - 1) / sim::kNumLanes;
   // Per-job outcome, written disjointly by the workers and reduced serially
@@ -60,6 +128,12 @@ CampaignResult CampaignEngine::run(const CampaignConfig& config) const {
 
   util::ThreadPool pool(config.num_threads);
   std::vector<std::unique_ptr<sim::ReplayRunner>> runners(pool.size());
+  struct WorkerCost {
+    std::uint64_t cycles = 0;
+    std::uint64_t ops = 0;
+    std::uint64_t restores = 0;
+  };
+  std::vector<WorkerCost> costs(pool.size());
   pool.parallel_for_chunked(
       num_passes, config.batch_size,
       [&](std::size_t pass_begin, std::size_t pass_end, std::size_t worker) {
@@ -67,6 +141,10 @@ CampaignResult CampaignEngine::run(const CampaignConfig& config) const {
           runners[worker] = std::make_unique<sim::ReplayRunner>(stimulus_);
         }
         sim::ReplayRunner& runner = *runners[worker];
+        sim::RunOptions options;
+        options.resume = ckpts.get();
+        options.incremental_eval =
+            config.replay_mode == ReplayMode::kIncremental;
         std::vector<sim::InjectionEvent> events;
         events.reserve(sim::kNumLanes);
         for (std::size_t pass = pass_begin; pass < pass_end; ++pass) {
@@ -81,11 +159,14 @@ CampaignResult CampaignEngine::run(const CampaignConfig& config) const {
             ev.lane_mask = sim::Lanes{1} << (j - job_begin);
             events.push_back(ev);
           }
-          const sim::RunResult run = runner.run(events);
+          const sim::RunResult run = runner.run(events, options);
           for (std::size_t j = job_begin; j < job_end; ++j) {
             outcome[j] =
                 classify(golden_.frames, run.lane_frames[j - job_begin]);
           }
+          costs[worker].cycles += run.cycles_simulated;
+          costs[worker].ops += run.ops_evaluated;
+          if (run.start_cycle > 0) ++costs[worker].restores;
         }
       });
 
@@ -94,6 +175,11 @@ CampaignResult CampaignEngine::run(const CampaignConfig& config) const {
   }
   result.total_sim_passes = num_passes;
   result.total_injections = jobs.size();
+  for (const WorkerCost& cost : costs) {
+    result.cycles_simulated += cost.cycles;
+    result.ops_evaluated += cost.ops;
+    result.checkpoint_restores += cost.restores;
+  }
   result.wall_seconds = stopwatch.elapsed_seconds();
   return result;
 }

@@ -4,21 +4,31 @@
 ///
 /// CampaignEngine precomputes everything that is invariant across a
 /// campaign's simulation passes — the compiled stimulus (waveforms validated
-/// once and pre-broadcast to 64-lane words) and the golden frame stream /
-/// activity trace — and keeps one ReplayRunner per worker thread so the
-/// levelized evaluation order is built once per worker instead of once per
-/// pass. run() packs injection windows across flip-flops: the whole
-/// campaign's injections form one flat job list sliced into 64-lane passes,
-/// costing ceil(total_injections / 64) passes instead of the flat campaign's
-/// sum over flip-flops of ceil(injections_per_ff / 64). Passes are
-/// distributed over a work-stealing pool in chunks of
+/// once and pre-broadcast to 64-lane words), the golden frame stream /
+/// activity trace, and golden-state checkpoints (sim::GoldenCheckpoints,
+/// snapshotted during the one-time golden run) — and keeps one ReplayRunner
+/// per worker thread so the levelized evaluation order is built once per
+/// worker instead of once per pass. run() packs injection windows across
+/// flip-flops: the whole campaign's injections form one flat job list sliced
+/// into 64-lane passes, costing ceil(total_injections / 64) passes instead
+/// of the flat campaign's sum over flip-flops of
+/// ceil(injections_per_ff / 64). Under the checkpointed replay modes the
+/// job list is additionally sorted by injection cycle, so the 64 lanes of
+/// one pass share a late start point: each pass restores the latest golden
+/// checkpoint at or before its earliest injection and fast-forwards from
+/// there, and (in kIncremental mode) evaluates only the dirty cone per
+/// cycle. Passes are distributed over a work-stealing pool in chunks of
 /// CampaignConfig::batch_size.
 ///
-/// Guarantee: for the same CampaignConfig, run() is bit-identical to
-/// run_campaign() — same per-flip-flop class counts and FDR vector — for
-/// every thread count and batch size (see tests/test_campaign_engine.cpp).
+/// Guarantee: for the same CampaignConfig seed/injection knobs, run() is
+/// bit-identical to run_campaign() — same per-flip-flop class counts and
+/// FDR vector — for every thread count, batch size, replay mode and
+/// checkpoint interval (see tests/test_campaign_engine.cpp and
+/// tests/test_incremental_replay.cpp).
 
+#include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "fault/campaign.hpp"
@@ -29,8 +39,9 @@ namespace ffr::fault {
 
 class CampaignEngine {
  public:
-  /// Compiles the stimulus and runs the golden simulation once. The netlist
-  /// and testbench must outlive the engine.
+  /// Compiles the stimulus and runs the golden simulation once, recording
+  /// golden-state checkpoints at the default CampaignConfig interval. The
+  /// netlist and testbench must outlive the engine.
   CampaignEngine(const netlist::Netlist& nl, const sim::Testbench& tb);
 
   [[nodiscard]] const netlist::Netlist& netlist() const noexcept { return *nl_; }
@@ -40,11 +51,21 @@ class CampaignEngine {
   /// on this engine (frames, per-FF activity trace, eval accounting).
   [[nodiscard]] const sim::GoldenResult& golden() const noexcept { return golden_; }
 
+  /// Golden checkpoints for the given snapshot interval. The constructor
+  /// pre-records the default interval; other intervals are recorded on
+  /// first use (one extra fault-free replay) and cached. Thread-safe.
+  /// \throws std::invalid_argument when `interval` is 0 or exceeds the
+  ///         testbench length.
+  [[nodiscard]] std::shared_ptr<const sim::GoldenCheckpoints> checkpoints(
+      std::size_t interval) const;
+
   /// Batched campaign over the configured flip-flop subset. Bit-identical to
-  /// run_campaign(netlist(), testbench(), golden(), config), but with
-  /// cross-flip-flop lane packing and chunked work-stealing scheduling.
-  /// const because every precomputed member is read-only here — concurrent
-  /// run() calls on one engine are safe (each brings its own worker pool).
+  /// run_campaign(netlist(), testbench(), golden(), config) in every replay
+  /// mode, but with cross-flip-flop lane packing, checkpointed mid-stream
+  /// starts, dirty-set evaluation and chunked work-stealing scheduling.
+  /// const because every precomputed member is read-only here (the
+  /// checkpoint cache is internally synchronized) — concurrent run() calls
+  /// on one engine are safe (each brings its own worker pool).
   [[nodiscard]] CampaignResult run(const CampaignConfig& config = {}) const;
 
   /// Disk-cached variant of run(): loads `cache_path` when it matches the
@@ -59,6 +80,10 @@ class CampaignEngine {
   const sim::Testbench* tb_;
   sim::CompiledStimulus stimulus_;
   sim::GoldenResult golden_;
+  /// Checkpoint sets keyed by snapshot interval, recorded lazily.
+  mutable std::map<std::size_t, std::shared_ptr<const sim::GoldenCheckpoints>>
+      checkpoints_by_interval_;
+  mutable std::mutex checkpoints_mutex_;
 };
 
 }  // namespace ffr::fault

@@ -18,6 +18,29 @@ class PacketMonitor {
     lanes_.resize(kNumLanes);
   }
 
+  /// Seeds every lane with the golden progress at a checkpoint: the frames
+  /// completed before the resume cycle plus the partially received frame.
+  void seed(const FrameList& frames, const std::vector<std::uint8_t>& open_bytes,
+            bool frame_open) {
+    for (LaneState& state : lanes_) {
+      state.frames = frames;
+      state.current = Frame{};
+      state.current.bytes = open_bytes;
+      state.open = frame_open;
+    }
+  }
+
+  /// Captures lane 0's progress (frames so far + partial frame) for a
+  /// golden checkpoint. While a frame is in flight only its bytes carry
+  /// state: err/end_cycle are assigned at close time.
+  void snapshot(FrameList& frames, std::vector<std::uint8_t>& open_bytes,
+                bool& frame_open) const {
+    const LaneState& lane0 = lanes_.front();
+    frames = lane0.frames;
+    open_bytes = lane0.current.bytes;
+    frame_open = lane0.open;
+  }
+
   void observe(const PackedSimulator& simulator, std::size_t cycle) {
     const Lanes valid = simulator.value(spec_->valid);
     if (valid == 0) return;
@@ -90,6 +113,17 @@ class PacketMonitor {
 
 }  // namespace
 
+const GoldenCheckpoints::Snapshot& GoldenCheckpoints::at_or_before(
+    std::size_t cycle) const {
+  if (snapshots.empty() || interval == 0) {
+    throw std::logic_error("GoldenCheckpoints: no snapshots recorded");
+  }
+  // Snapshots sit at k * interval, so the latest one not after `cycle` is
+  // directly indexable.
+  const std::size_t index = std::min(cycle / interval, snapshots.size() - 1);
+  return snapshots[index];
+}
+
 CompiledStimulus::CompiledStimulus(const netlist::Netlist& nl, const Testbench& tb)
     : nl_(&nl), tb_(&tb) {
   const Stimulus& stim = tb.stimulus;
@@ -119,6 +153,29 @@ RunResult ReplayRunner::run(std::span<const InjectionEvent> injections,
       throw std::invalid_argument("ReplayRunner: injection beyond end of run");
     }
   }
+  if (options.record != nullptr) {
+    if (!injections.empty()) {
+      throw std::invalid_argument(
+          "ReplayRunner: checkpoint recording requires a fault-free run");
+    }
+    if (options.resume != nullptr) {
+      throw std::invalid_argument(
+          "ReplayRunner: cannot record and resume in the same run");
+    }
+    if (options.record->interval == 0) {
+      throw std::invalid_argument(
+          "ReplayRunner: checkpoint interval must be >= 1");
+    }
+    if (options.record->interval > num_cycles) {
+      throw std::invalid_argument(
+          "ReplayRunner: checkpoint interval exceeds the testbench length");
+    }
+    options.record->snapshots.clear();
+  }
+  if (options.resume != nullptr && options.trace_activity) {
+    throw std::invalid_argument(
+        "ReplayRunner: activity tracing requires a full replay from reset");
+  }
 
   // Injection schedule sorted by cycle for a single sweep.
   schedule_.assign(injections.begin(), injections.end());
@@ -128,8 +185,33 @@ RunResult ReplayRunner::run(std::span<const InjectionEvent> injections,
             });
 
   const std::uint64_t evals_before = sim_.eval_count();
-  sim_.reset();
+  const std::uint64_t ops_before = sim_.ops_evaluated();
   PacketMonitor monitor(tb.monitor);
+
+  // Loopback registers, driven with their idle value on the first cycle.
+  loop_values_.resize(tb.loopbacks.size());
+  for (std::size_t i = 0; i < tb.loopbacks.size(); ++i) {
+    loop_values_[i] = broadcast(tb.loopbacks[i].initial);
+  }
+
+  // Start point: reset, or the latest golden checkpoint not after the first
+  // injection. The skipped prefix is bit-identical to golden on every lane,
+  // so restoring golden state + monitor progress loses nothing.
+  std::size_t start_cycle = 0;
+  if (options.resume != nullptr && !schedule_.empty()) {
+    const GoldenCheckpoints::Snapshot& snap =
+        options.resume->at_or_before(schedule_.front().cycle);
+    if (snap.loopback_values.size() != loop_values_.size()) {
+      throw std::invalid_argument(
+          "ReplayRunner: checkpoint/testbench loopback mismatch");
+    }
+    start_cycle = snap.cycle;
+    sim_.restore_ff_state(snap.ff_state);
+    loop_values_.assign(snap.loopback_values.begin(), snap.loopback_values.end());
+    monitor.seed(snap.frames, snap.open_bytes, snap.frame_open);
+  } else {
+    sim_.reset();
+  }
 
   const auto ffs = nl.flip_flops();
   ActivityTrace activity;
@@ -142,15 +224,16 @@ RunResult ReplayRunner::run(std::span<const InjectionEvent> injections,
     }
   }
 
-  // Loopback registers, driven with their idle value on the first cycle.
-  loop_values_.resize(tb.loopbacks.size());
-  for (std::size_t i = 0; i < tb.loopbacks.size(); ++i) {
-    loop_values_[i] = broadcast(tb.loopbacks[i].initial);
-  }
-
   std::size_t next_event = 0;
   const auto pis = nl.primary_inputs();
-  for (std::size_t cycle = 0; cycle < num_cycles; ++cycle) {
+  for (std::size_t cycle = start_cycle; cycle < num_cycles; ++cycle) {
+    if (options.record != nullptr && cycle % options.record->interval == 0) {
+      GoldenCheckpoints::Snapshot& snap = options.record->snapshots.emplace_back();
+      snap.cycle = cycle;
+      sim_.snapshot_ff_state(snap.ff_state);
+      snap.loopback_values = loop_values_;
+      monitor.snapshot(snap.frames, snap.open_bytes, snap.frame_open);
+    }
     for (std::size_t i = 0; i < pis.size(); ++i) {
       sim_.set_input(pis[i], stim_->input(cycle, i));
     }
@@ -161,7 +244,11 @@ RunResult ReplayRunner::run(std::span<const InjectionEvent> injections,
       sim_.inject(schedule_[next_event].ff_cell, schedule_[next_event].lane_mask);
       ++next_event;
     }
-    sim_.eval();
+    if (options.incremental_eval) {
+      sim_.eval_incremental();
+    } else {
+      sim_.eval();
+    }
     monitor.observe(sim_, cycle);
     if (options.trace_activity) {
       for (std::size_t i = 0; i < ffs.size(); ++i) {
@@ -182,6 +269,9 @@ RunResult ReplayRunner::run(std::span<const InjectionEvent> injections,
   result.lane_frames = monitor.finish();
   result.activity = std::move(activity);
   result.eval_count = sim_.eval_count() - evals_before;
+  result.cycles_simulated = num_cycles - start_cycle;
+  result.ops_evaluated = sim_.ops_evaluated() - ops_before;
+  result.start_cycle = start_cycle;
   return result;
 }
 

@@ -3,6 +3,9 @@
 /// \brief Drives a PackedSimulator through a testbench: applies stimulus, services
 /// loopbacks, schedules fault injections, extracts per-lane frames at the
 /// monitored packet interface and records per-flip-flop signal activity.
+/// A fault-free run can record golden-state checkpoints; a fault run can
+/// restore the latest checkpoint at or before its first injection and
+/// fast-forward from there (incremental fault simulation).
 
 #include <cstdint>
 #include <vector>
@@ -28,14 +31,56 @@ struct ActivityTrace {
   std::uint64_t total_cycles = 0;
 };
 
+/// Golden-state checkpoints recorded during a fault-free run, shared by
+/// every fault pass that replays the same (netlist, testbench) pair. A
+/// snapshot at cycle C captures everything a ReplayRunner needs to resume
+/// simulation at the top of cycle C: flip-flop state, pending loopback
+/// values and the packet monitor's progress (frames completed before C plus
+/// the bytes of the frame in flight). Golden words are broadcast (all 64
+/// lanes identical), so one snapshot seeds every lane of a resumed pass.
+struct GoldenCheckpoints {
+  struct Snapshot {
+    std::size_t cycle = 0;                 ///< Resume point.
+    std::vector<Lanes> ff_state;           ///< Q per FF, Netlist::flip_flops order.
+    std::vector<Lanes> loopback_values;    ///< Pending loopback inputs.
+    FrameList frames;                      ///< Frames completed before `cycle`.
+    std::vector<std::uint8_t> open_bytes;  ///< Bytes of the frame in flight.
+    bool frame_open = false;               ///< A frame is open mid-stream.
+  };
+
+  std::size_t interval = 0;         ///< Cycles between snapshots.
+  std::vector<Snapshot> snapshots;  ///< snapshots[k].cycle == k * interval.
+
+  /// Latest snapshot with snapshot.cycle <= `cycle` (the cycle-0 snapshot
+  /// always exists after recording). \throws std::logic_error when empty.
+  [[nodiscard]] const Snapshot& at_or_before(std::size_t cycle) const;
+};
+
 struct RunResult {
   std::vector<FrameList> lane_frames;  // size kNumLanes
   ActivityTrace activity;              // filled when trace_activity is set
-  std::uint64_t eval_count = 0;
+  std::uint64_t eval_count = 0;        // evaluation sweeps (== cycles simulated)
+  std::uint64_t cycles_simulated = 0;  // cycles actually advanced
+  std::uint64_t ops_evaluated = 0;     // individual gate evaluations
+  std::uint64_t start_cycle = 0;       // 0 unless resumed from a checkpoint
 };
 
 struct RunOptions {
   bool trace_activity = false;
+  /// Record golden checkpoints every `record->interval` cycles into
+  /// `record` (previous snapshots are cleared). Fault-free runs only;
+  /// `record->interval` must be in [1, num_cycles].
+  GoldenCheckpoints* record = nullptr;
+  /// Resume from the latest checkpoint at or before the earliest injection
+  /// instead of replaying from reset; the skipped prefix is bit-identical
+  /// to golden by construction. Ignored when the schedule is empty.
+  /// Incompatible with trace_activity (the trace would only cover the
+  /// simulated suffix) and with record.
+  const GoldenCheckpoints* resume = nullptr;
+  /// Use dirty-set PackedSimulator::eval_incremental() per cycle instead of
+  /// the full-sweep eval(). Bit-identical results, far fewer op evaluations
+  /// once lanes have diverged on only a small cone.
+  bool incremental_eval = false;
 };
 
 /// Runs the full testbench. `injections` may target any flip-flops/cycles;
@@ -50,7 +95,8 @@ struct RunOptions {
 /// sample into a 64-lane word, so a replay pass skips the per-cycle
 /// bool -> Lanes expansion. Holds references; the netlist and testbench must
 /// outlive it. Immutable after construction, so one instance can feed many
-/// ReplayRunners concurrently.
+/// ReplayRunners concurrently. input() takes any cycle in [0, num_cycles),
+/// so replays may start mid-stream.
 class CompiledStimulus {
  public:
   /// \throws std::invalid_argument on a stimulus/PI count mismatch.
@@ -76,15 +122,21 @@ class CompiledStimulus {
 /// Reusable testbench driver for campaign passes: owns one PackedSimulator,
 /// so the levelized op list is built once and only reset + replayed per
 /// run(). A run's observable behaviour (frames, activity, eval accounting)
-/// is bit-identical to a fresh run_testbench() call with the same inputs.
-/// Not thread-safe; use one runner per worker.
+/// is bit-identical to a fresh run_testbench() call with the same inputs;
+/// resumed / incremental-eval runs are bit-identical in frames and final
+/// state to a full replay of the same schedule. Not thread-safe; use one
+/// runner per worker.
 class ReplayRunner {
  public:
   explicit ReplayRunner(const CompiledStimulus& stimulus);
 
-  /// Replays the full testbench with the given fault schedule.
+  /// Replays the testbench with the given fault schedule (from reset, or
+  /// from a golden checkpoint when options.resume is set).
   [[nodiscard]] RunResult run(std::span<const InjectionEvent> injections = {},
                               const RunOptions& options = {});
+
+  /// The owned simulator, e.g. to inspect flip-flop state after a run.
+  [[nodiscard]] const PackedSimulator& simulator() const noexcept { return sim_; }
 
  private:
   const CompiledStimulus* stim_;

@@ -1,0 +1,409 @@
+// Property and differential tests for the incremental checkpointed replay
+// subsystem: dirty-set eval_incremental() vs full eval() equivalence on
+// random circuits, golden checkpoint record/restore bit-exactness on
+// mac_core and pipeline_core (relay_core is covered in test_relay_core.cpp),
+// replay-mode equivalence of the batched CampaignEngine against the flat
+// reference campaign, cost-accounting invariants, and validation of the new
+// CampaignConfig knobs.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "circuits/mac_core.hpp"
+#include "circuits/mac_testbench.hpp"
+#include "circuits/pipeline_core.hpp"
+#include "circuits/random_circuit.hpp"
+#include "fault/campaign.hpp"
+#include "fault/engine.hpp"
+#include "sim/packed_sim.hpp"
+#include "sim/runner.hpp"
+#include "util/rng.hpp"
+
+namespace ffr {
+namespace {
+
+// ---- dirty-set evaluation vs full evaluation ---------------------------------
+
+TEST(DirtySetEval, MatchesFullEvalOnRandomCircuits) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    circuits::RandomCircuitConfig cc;
+    cc.num_inputs = 5;
+    cc.num_outputs = 4;
+    cc.num_gates = 60 + 30 * static_cast<std::size_t>(seed % 3);
+    cc.num_flip_flops = 8 + 4 * static_cast<std::size_t>(seed % 2);
+    cc.seed = seed;
+    const netlist::Netlist nl = circuits::build_random_circuit(cc);
+    sim::PackedSimulator full(nl);
+    sim::PackedSimulator incremental(nl);
+    util::Rng rng(seed * 77 + 1);
+    const auto pis = nl.primary_inputs();
+    const auto ffs = nl.flip_flops();
+    for (int cycle = 0; cycle < 40; ++cycle) {
+      for (const netlist::NetId pi : pis) {
+        // Lane-varying words, not broadcasts: the dirty-set comparison is
+        // word-level and must survive diverged lanes.
+        const sim::Lanes value = rng();
+        full.set_input(pi, value);
+        incremental.set_input(pi, value);
+      }
+      if (!ffs.empty() && rng.bernoulli(0.3)) {
+        const netlist::CellId cell = ffs[rng.below(ffs.size())];
+        const sim::Lanes mask = rng();
+        full.inject(cell, mask);
+        incremental.inject(cell, mask);
+      }
+      full.eval();
+      incremental.eval_incremental();
+      for (netlist::NetId net = 0; net < nl.num_nets(); ++net) {
+        ASSERT_EQ(full.value(net), incremental.value(net))
+            << "seed " << seed << " cycle " << cycle << " net " << net << " ("
+            << nl.net(net).name << ")";
+      }
+      full.tick();
+      incremental.tick();
+    }
+    // The whole point: the event-driven sweep must not do more gate
+    // evaluations than the full sweep.
+    EXPECT_LE(incremental.ops_evaluated(), full.ops_evaluated()) << "seed " << seed;
+  }
+}
+
+TEST(DirtySetEval, QuiescentSweepEvaluatesNothing) {
+  const netlist::Netlist nl = circuits::build_random_circuit({});
+  sim::PackedSimulator sim(nl);
+  sim.eval();
+  const std::uint64_t before = sim.ops_evaluated();
+  sim.eval_incremental();  // no inputs changed since the full sweep
+  EXPECT_EQ(sim.ops_evaluated(), before);
+}
+
+TEST(DirtySetEval, RestoreForcesFullResyncSweep) {
+  const netlist::Netlist nl = circuits::build_random_circuit({});
+  sim::PackedSimulator reference(nl);
+  sim::PackedSimulator sim(nl);
+  util::Rng rng(99);
+  const auto pis = nl.primary_inputs();
+  // Walk `sim` into an arbitrary state, then restore `reference`'s flip-flop
+  // state into it: the next incremental sweep must fall back to a full eval
+  // and converge to reference's net values exactly.
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    for (const netlist::NetId pi : pis) sim.set_input(pi, rng());
+    sim.eval();
+    sim.tick();
+  }
+  std::vector<sim::Lanes> state;
+  reference.snapshot_ff_state(state);
+  sim.restore_ff_state(state);
+  for (const netlist::NetId pi : pis) {
+    sim.set_input(pi, reference.value(pi));
+  }
+  sim.eval_incremental();
+  for (netlist::NetId net = 0; net < nl.num_nets(); ++net) {
+    ASSERT_EQ(sim.value(net), reference.value(net)) << "net " << net;
+  }
+}
+
+TEST(DirtySetEval, RestoreRejectsSizeMismatch) {
+  const netlist::Netlist nl = circuits::build_random_circuit({});
+  sim::PackedSimulator sim(nl);
+  const std::vector<sim::Lanes> wrong(sim.num_ffs() + 1, 0);
+  EXPECT_THROW(sim.restore_ff_state(wrong), std::invalid_argument);
+}
+
+// ---- checkpoint record / restore ---------------------------------------------
+
+void expect_same_run(const sim::RunResult& full, const sim::RunResult& resumed) {
+  ASSERT_EQ(full.lane_frames.size(), resumed.lane_frames.size());
+  for (std::size_t lane = 0; lane < full.lane_frames.size(); ++lane) {
+    const sim::FrameList& a = full.lane_frames[lane];
+    const sim::FrameList& b = resumed.lane_frames[lane];
+    ASSERT_EQ(a.size(), b.size()) << "lane " << lane;
+    for (std::size_t f = 0; f < a.size(); ++f) {
+      EXPECT_EQ(a[f].bytes, b[f].bytes) << "lane " << lane << " frame " << f;
+      EXPECT_EQ(a[f].err, b[f].err) << "lane " << lane << " frame " << f;
+      // Stricter than Frame::operator== — a resumed replay reproduces even
+      // the delivery cycles.
+      EXPECT_EQ(a[f].end_cycle, b[f].end_cycle)
+          << "lane " << lane << " frame " << f;
+    }
+  }
+}
+
+void expect_same_ff_state(const netlist::Netlist& nl, const sim::ReplayRunner& a,
+                          const sim::ReplayRunner& b) {
+  for (const netlist::CellId ff : nl.flip_flops()) {
+    ASSERT_EQ(a.simulator().ff_state(ff), b.simulator().ff_state(ff))
+        << "ff " << nl.cell(ff).name;
+  }
+}
+
+/// For every recorded checkpoint: an injection schedule that lands right at,
+/// right after, and far beyond the snapshot cycle must replay bit-exactly
+/// (frames of all 64 lanes, final flip-flop state) whether it starts from
+/// reset or from the checkpoint — with and without dirty-set evaluation.
+void check_checkpoint_property(const netlist::Netlist& nl, const sim::Testbench& tb,
+                               std::size_t interval) {
+  const sim::CompiledStimulus stimulus(nl, tb);
+  sim::GoldenCheckpoints ckpts;
+  ckpts.interval = interval;
+  sim::ReplayRunner recorder(stimulus);
+  sim::RunOptions record_options;
+  record_options.record = &ckpts;
+  (void)recorder.run({}, record_options);
+  ASSERT_EQ(ckpts.snapshots.size(), (stimulus.num_cycles() + interval - 1) / interval);
+  for (std::size_t k = 0; k < ckpts.snapshots.size(); ++k) {
+    ASSERT_EQ(ckpts.snapshots[k].cycle, k * interval);
+  }
+
+  const auto ffs = nl.flip_flops();
+  sim::ReplayRunner full_runner(stimulus);
+  sim::ReplayRunner resumed_runner(stimulus);
+  util::Rng rng(interval * 1234567ULL + 9);
+  for (std::size_t k = 0; k < ckpts.snapshots.size(); ++k) {
+    const std::size_t base = ckpts.snapshots[k].cycle;
+    std::vector<sim::InjectionEvent> events;
+    sim::InjectionEvent first;
+    first.ff_cell = ffs[rng.below(ffs.size())];
+    first.cycle = static_cast<std::uint32_t>(base);
+    first.lane_mask = sim::Lanes{1} << (k % sim::kNumLanes);
+    events.push_back(first);
+    if (base + interval / 2 + 1 < stimulus.num_cycles()) {
+      sim::InjectionEvent second;
+      second.ff_cell = ffs[rng.below(ffs.size())];
+      second.cycle = static_cast<std::uint32_t>(base + interval / 2 + 1);
+      second.lane_mask = sim::Lanes{1} << ((k + 17) % sim::kNumLanes);
+      events.push_back(second);
+    }
+    const sim::RunResult full = full_runner.run(events);
+    EXPECT_EQ(full.start_cycle, 0u);
+    for (const bool incremental : {false, true}) {
+      sim::RunOptions options;
+      options.resume = &ckpts;
+      options.incremental_eval = incremental;
+      const sim::RunResult resumed = resumed_runner.run(events, options);
+      SCOPED_TRACE("checkpoint " + std::to_string(k) + " incremental " +
+                   std::to_string(incremental));
+      EXPECT_EQ(resumed.start_cycle, base);
+      EXPECT_EQ(resumed.cycles_simulated, stimulus.num_cycles() - base);
+      expect_same_run(full, resumed);
+      expect_same_ff_state(nl, full_runner, resumed_runner);
+    }
+  }
+}
+
+TEST(CheckpointRestore, ReproducesFullRunOnMac) {
+  circuits::MacConfig mc;
+  mc.tx_depth_log2 = 3;
+  mc.rx_depth_log2 = 3;
+  const circuits::MacCore mac = circuits::build_mac_core(mc);
+  circuits::MacTestbenchConfig tbc;
+  tbc.num_frames = 2;
+  tbc.min_payload = 8;
+  tbc.max_payload = 12;
+  tbc.seed = 7;
+  const circuits::MacTestbench bench = circuits::build_mac_testbench(mac, tbc);
+  check_checkpoint_property(mac.netlist, bench.tb, 13);
+}
+
+TEST(CheckpointRestore, ReproducesFullRunOnPipeline) {
+  const circuits::PipelineCore core = circuits::build_pipeline_core();
+  const circuits::PipelineTestbench bench =
+      circuits::build_pipeline_testbench(core, 48);
+  check_checkpoint_property(core.netlist, bench.tb, 9);
+}
+
+TEST(CheckpointRestore, RunnerContractsRejectMisuse) {
+  const circuits::PipelineCore core = circuits::build_pipeline_core();
+  const circuits::PipelineTestbench bench =
+      circuits::build_pipeline_testbench(core, 24);
+  const sim::CompiledStimulus stimulus(core.netlist, bench.tb);
+  sim::ReplayRunner runner(stimulus);
+  sim::GoldenCheckpoints ckpts;
+
+  sim::RunOptions bad_interval;
+  bad_interval.record = &ckpts;
+  ckpts.interval = 0;
+  EXPECT_THROW((void)runner.run({}, bad_interval), std::invalid_argument);
+  ckpts.interval = stimulus.num_cycles() + 1;
+  EXPECT_THROW((void)runner.run({}, bad_interval), std::invalid_argument);
+
+  ckpts.interval = 8;
+  sim::InjectionEvent ev;
+  ev.ff_cell = core.netlist.flip_flops()[0];
+  ev.cycle = static_cast<std::uint32_t>(bench.tb.inject_begin);
+  ev.lane_mask = 1;
+  const sim::InjectionEvent events[] = {ev};
+  sim::RunOptions record_with_faults;
+  record_with_faults.record = &ckpts;
+  EXPECT_THROW((void)runner.run(events, record_with_faults), std::invalid_argument);
+
+  (void)runner.run({}, sim::RunOptions{.record = &ckpts});
+  sim::RunOptions resume_with_activity;
+  resume_with_activity.resume = &ckpts;
+  resume_with_activity.trace_activity = true;
+  EXPECT_THROW((void)runner.run(events, resume_with_activity),
+               std::invalid_argument);
+
+  // Empty checkpoints cannot serve a resume.
+  const sim::GoldenCheckpoints empty;
+  sim::RunOptions resume_empty;
+  resume_empty.resume = &empty;
+  EXPECT_THROW((void)runner.run(events, resume_empty), std::logic_error);
+}
+
+// ---- engine-level differential across replay modes ---------------------------
+
+void expect_bit_identical(const fault::CampaignResult& a,
+                          const fault::CampaignResult& b) {
+  ASSERT_EQ(a.per_ff.size(), b.per_ff.size());
+  for (std::size_t i = 0; i < a.per_ff.size(); ++i) {
+    EXPECT_EQ(a.per_ff[i].ff_index, b.per_ff[i].ff_index) << "ff " << i;
+    EXPECT_EQ(a.per_ff[i].classes.counts, b.per_ff[i].classes.counts)
+        << "ff " << i << " (" << a.per_ff[i].name << ")";
+  }
+  const auto fdr_a = a.fdr_vector();
+  const auto fdr_b = b.fdr_vector();
+  ASSERT_EQ(fdr_a.size(), fdr_b.size());
+  for (std::size_t i = 0; i < fdr_a.size(); ++i) {
+    EXPECT_EQ(fdr_a[i], fdr_b[i]) << "ff " << i;
+  }
+  EXPECT_EQ(a.total_injections, b.total_injections);
+}
+
+struct MacIncrementalFixture : public ::testing::Test {
+  static void SetUpTestSuite() {
+    circuits::MacConfig mc;
+    mc.tx_depth_log2 = 3;
+    mc.rx_depth_log2 = 3;
+    mac = new circuits::MacCore(circuits::build_mac_core(mc));
+    circuits::MacTestbenchConfig tbc;
+    tbc.num_frames = 3;
+    tbc.min_payload = 8;
+    tbc.max_payload = 16;
+    tbc.seed = 5;
+    bench = new circuits::MacTestbench(circuits::build_mac_testbench(*mac, tbc));
+    engine = new fault::CampaignEngine(mac->netlist, bench->tb);
+  }
+  static void TearDownTestSuite() {
+    delete engine;
+    engine = nullptr;
+    delete bench;
+    bench = nullptr;
+    delete mac;
+    mac = nullptr;
+  }
+  static circuits::MacCore* mac;
+  static circuits::MacTestbench* bench;
+  static fault::CampaignEngine* engine;
+};
+
+circuits::MacCore* MacIncrementalFixture::mac = nullptr;
+circuits::MacTestbench* MacIncrementalFixture::bench = nullptr;
+fault::CampaignEngine* MacIncrementalFixture::engine = nullptr;
+
+TEST_F(MacIncrementalFixture, AllModesMatchFlatAcrossIntervalsAndThreads) {
+  fault::CampaignConfig base;
+  base.injections_per_ff = 24;
+  for (std::size_t i = 0; i < mac->netlist.num_flip_flops(); i += 11) {
+    base.ff_subset.push_back(i);
+  }
+  const fault::CampaignResult flat =
+      fault::run_campaign(mac->netlist, bench->tb, engine->golden(), base);
+  const std::size_t num_cycles = bench->tb.stimulus.num_cycles();
+  for (const fault::ReplayMode mode :
+       {fault::ReplayMode::kFull, fault::ReplayMode::kCheckpoint,
+        fault::ReplayMode::kIncremental}) {
+    for (const std::size_t interval :
+         {std::size_t{1}, std::size_t{7}, std::size_t{16}, num_cycles}) {
+      for (const std::size_t threads : {std::size_t{1}, std::size_t{0}}) {
+        fault::CampaignConfig config = base;
+        config.replay_mode = mode;
+        config.checkpoint_interval = interval;
+        config.num_threads = threads;
+        SCOPED_TRACE(std::string("mode=") + fault::to_string(mode) +
+                     " interval=" + std::to_string(interval) +
+                     " threads=" + std::to_string(threads));
+        const fault::CampaignResult result = engine->run(config);
+        expect_bit_identical(flat, result);
+      }
+    }
+  }
+}
+
+TEST_F(MacIncrementalFixture, CheckpointedReplaySimulatesFewerCyclesAndOps) {
+  fault::CampaignConfig config;
+  config.injections_per_ff = 32;
+  for (std::size_t i = 0; i < mac->netlist.num_flip_flops(); i += 7) {
+    config.ff_subset.push_back(i);
+  }
+  config.checkpoint_interval = 8;
+
+  config.replay_mode = fault::ReplayMode::kFull;
+  const fault::CampaignResult full = engine->run(config);
+  config.replay_mode = fault::ReplayMode::kCheckpoint;
+  const fault::CampaignResult checkpointed = engine->run(config);
+  config.replay_mode = fault::ReplayMode::kIncremental;
+  const fault::CampaignResult incremental = engine->run(config);
+
+  expect_bit_identical(full, checkpointed);
+  expect_bit_identical(full, incremental);
+
+  // Full mode replays every pass from reset.
+  EXPECT_EQ(full.cycles_simulated,
+            full.total_sim_passes * bench->tb.stimulus.num_cycles());
+  EXPECT_EQ(full.checkpoint_restores, 0u);
+  // The injection window opens after cycle 0, so sorted lane packing must
+  // let most passes skip a prefix.
+  EXPECT_LT(checkpointed.cycles_simulated, full.cycles_simulated);
+  EXPECT_GT(checkpointed.checkpoint_restores, 0u);
+  EXPECT_EQ(incremental.cycles_simulated, checkpointed.cycles_simulated);
+  // Dirty-set evaluation shrinks gate evaluations further still.
+  EXPECT_LT(incremental.ops_evaluated, checkpointed.ops_evaluated);
+}
+
+TEST_F(MacIncrementalFixture, KnobValidation) {
+  fault::CampaignConfig config;
+  config.injections_per_ff = 4;
+  config.ff_subset = {0};
+  config.checkpoint_interval = 0;
+  EXPECT_THROW((void)engine->run(config), std::invalid_argument);
+  config.checkpoint_interval = bench->tb.stimulus.num_cycles() + 1;
+  EXPECT_THROW((void)engine->run(config), std::invalid_argument);
+  // Validated in every mode — a kFull config must not silently accept knobs
+  // that would break a later switch to incremental replay.
+  config.replay_mode = fault::ReplayMode::kFull;
+  EXPECT_THROW((void)engine->run(config), std::invalid_argument);
+  EXPECT_THROW((void)engine->checkpoints(0), std::invalid_argument);
+  EXPECT_THROW((void)engine->checkpoints(bench->tb.stimulus.num_cycles() + 1),
+               std::invalid_argument);
+}
+
+TEST_F(MacIncrementalFixture, CheckpointCacheIsSharedPerInterval) {
+  const auto a = engine->checkpoints(10);
+  const auto b = engine->checkpoints(10);
+  EXPECT_EQ(a.get(), b.get());
+  const auto c = engine->checkpoints(20);
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(c->snapshots.size(),
+            (bench->tb.stimulus.num_cycles() + 19) / 20);
+}
+
+TEST(PipelineIncremental, DefaultModeMatchesFlat) {
+  const circuits::PipelineCore core = circuits::build_pipeline_core();
+  const circuits::PipelineTestbench bench =
+      circuits::build_pipeline_testbench(core);
+  fault::CampaignEngine engine(core.netlist, bench.tb);
+  fault::CampaignConfig config;
+  config.injections_per_ff = 32;
+  ASSERT_EQ(config.replay_mode, fault::ReplayMode::kIncremental);
+  const fault::CampaignResult flat =
+      fault::run_campaign(core.netlist, bench.tb, engine.golden(), config);
+  const fault::CampaignResult incremental = engine.run(config);
+  expect_bit_identical(flat, incremental);
+  EXPECT_LT(incremental.cycles_simulated, flat.cycles_simulated);
+  EXPECT_LT(incremental.ops_evaluated, flat.ops_evaluated);
+}
+
+}  // namespace
+}  // namespace ffr

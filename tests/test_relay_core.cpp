@@ -1,8 +1,9 @@
 // Smoke tests for the paper-scale relay_core evaluation circuit: flip-flop
 // census at/above the paper's 947-FF operating point, clean golden delivery
-// through the full FIFO chain, CRC error detection, and a small-subset SFI
+// through the full FIFO chain, CRC error detection, a small-subset SFI
 // campaign (flat vs batched differential) to prove the design is
-// campaign-ready. Registered with a CTest TIMEOUT and the "scale" label.
+// campaign-ready, and checkpoint-restore / incremental-replay bit-exactness
+// at paper scale. Registered with a CTest TIMEOUT and the "scale" label.
 
 #include <gtest/gtest.h>
 
@@ -106,6 +107,94 @@ TEST_F(RelayFixture, SmallSubsetCampaignCompletes) {
   // where the flat campaign needs one pass per flip-flop.
   EXPECT_EQ(batched.total_sim_passes, 2u);
   EXPECT_EQ(flat.total_sim_passes, 7u);
+}
+
+TEST_F(RelayFixture, CheckpointRestoreReproducesFullRunAtPaperScale) {
+  // Restoring any golden checkpoint and fast-forwarding must reproduce the
+  // full-run frames (all 64 lanes, including delivery cycles) and the final
+  // flip-flop state bit-exactly — with and without dirty-set evaluation.
+  const sim::CompiledStimulus stimulus(core->netlist, bench->tb);
+  sim::GoldenCheckpoints ckpts;
+  ckpts.interval = 29;
+  sim::ReplayRunner recorder(stimulus);
+  sim::RunOptions record_options;
+  record_options.record = &ckpts;
+  (void)recorder.run({}, record_options);
+  ASSERT_EQ(ckpts.snapshots.size(), (stimulus.num_cycles() + 28) / 29);
+
+  const auto ffs = core->netlist.flip_flops();
+  sim::ReplayRunner full_runner(stimulus);
+  sim::ReplayRunner resumed_runner(stimulus);
+  // Early / mid / late injections across the chain (ingress storage,
+  // mid-chain pointer, egress CRC region).
+  const std::size_t window = bench->tb.inject_end - bench->tb.inject_begin;
+  const std::size_t probe_cycles[] = {bench->tb.inject_begin + 1,
+                                      bench->tb.inject_begin + window / 2,
+                                      bench->tb.inject_end - 1};
+  const std::size_t probe_ffs[] = {1, ffs.size() / 2, ffs.size() - 1};
+  for (std::size_t p = 0; p < 3; ++p) {
+    sim::InjectionEvent ev;
+    ev.ff_cell = ffs[probe_ffs[p]];
+    ev.cycle = static_cast<std::uint32_t>(probe_cycles[p]);
+    ev.lane_mask = sim::Lanes{1} << (p * 11);
+    const sim::InjectionEvent events[] = {ev};
+    const sim::RunResult full = full_runner.run(events);
+    for (const bool incremental : {false, true}) {
+      SCOPED_TRACE("probe " + std::to_string(p) + " incremental " +
+                   std::to_string(incremental));
+      sim::RunOptions options;
+      options.resume = &ckpts;
+      options.incremental_eval = incremental;
+      const sim::RunResult resumed = resumed_runner.run(events, options);
+      EXPECT_EQ(resumed.start_cycle, (probe_cycles[p] / 29) * 29);
+      ASSERT_EQ(full.lane_frames.size(), resumed.lane_frames.size());
+      for (std::size_t lane = 0; lane < full.lane_frames.size(); ++lane) {
+        const sim::FrameList& a = full.lane_frames[lane];
+        const sim::FrameList& b = resumed.lane_frames[lane];
+        ASSERT_EQ(a.size(), b.size()) << "lane " << lane;
+        for (std::size_t f = 0; f < a.size(); ++f) {
+          ASSERT_EQ(a[f].bytes, b[f].bytes) << "lane " << lane << " frame " << f;
+          ASSERT_EQ(a[f].err, b[f].err) << "lane " << lane << " frame " << f;
+          ASSERT_EQ(a[f].end_cycle, b[f].end_cycle)
+              << "lane " << lane << " frame " << f;
+        }
+      }
+      for (const netlist::CellId ff : ffs) {
+        ASSERT_EQ(full_runner.simulator().ff_state(ff),
+                  resumed_runner.simulator().ff_state(ff))
+            << "ff " << core->netlist.cell(ff).name;
+      }
+    }
+  }
+}
+
+TEST_F(RelayFixture, IncrementalCampaignBitExactAndCheaper) {
+  fault::CampaignEngine engine(core->netlist, bench->tb);
+  fault::CampaignConfig config;
+  config.injections_per_ff = 48;
+  const std::size_t n = core->netlist.num_flip_flops();
+  for (std::size_t i = 0; i < n; i += 41) config.ff_subset.push_back(i);
+
+  const fault::CampaignResult flat =
+      fault::run_campaign(core->netlist, bench->tb, engine.golden(), config);
+  config.replay_mode = fault::ReplayMode::kFull;
+  const fault::CampaignResult full = engine.run(config);
+  config.replay_mode = fault::ReplayMode::kIncremental;
+  const fault::CampaignResult incremental = engine.run(config);
+
+  for (const auto* batched : {&full, &incremental}) {
+    ASSERT_EQ(flat.per_ff.size(), batched->per_ff.size());
+    for (std::size_t i = 0; i < flat.per_ff.size(); ++i) {
+      EXPECT_EQ(flat.per_ff[i].classes.counts, batched->per_ff[i].classes.counts)
+          << "ff " << flat.per_ff[i].name;
+    }
+    EXPECT_EQ(flat.fdr_vector(), batched->fdr_vector());
+  }
+  // The paper-scale cost argument: checkpointed starts cut simulated cycles,
+  // dirty-set evaluation cuts gate evaluations on top.
+  EXPECT_GT(incremental.checkpoint_restores, 0u);
+  EXPECT_LT(incremental.cycles_simulated, full.cycles_simulated);
+  EXPECT_LT(incremental.ops_evaluated, full.ops_evaluated);
 }
 
 }  // namespace
