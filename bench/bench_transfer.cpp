@@ -1,0 +1,186 @@
+// Cross-circuit transfer benchmark: leave-one-circuit-out over the three
+// bundled designs (mac_core, pipeline_core, relay_core). For every held-out
+// target the models are trained on the other two circuits — raw stacked
+// features vs. per-circuit domain standardization (features::DomainScaler) —
+// and scored against the target's ground-truth campaign with R², Spearman
+// rank correlation and MAE. Every measurement lands in BENCH_transfer.json
+// (uploaded by CI) so the transfer trajectory is tracked across PRs.
+//
+// The ground-truth campaign on each circuit doubles as its training labels
+// when the circuit is in the training set, so each campaign runs once.
+//
+// Environment knobs:
+//   FFR_TRANSFER_INJECTIONS  injections per flip-flop (default 64)
+//
+//   ./build/bench/bench_transfer
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "circuits/mac_core.hpp"
+#include "circuits/mac_testbench.hpp"
+#include "circuits/pipeline_core.hpp"
+#include "circuits/relay_core.hpp"
+#include "core/transfer_flow.hpp"
+#include "features/domain_scaler.hpp"
+#include "ml/metrics.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table_printer.hpp"
+
+namespace {
+
+using namespace ffr;
+
+struct TransferRecord {
+  std::string target;
+  std::string train_set;
+  std::string model;
+  bool adapted = false;
+  std::size_t train_rows = 0;
+  std::size_t target_ffs = 0;
+  std::size_t injections_per_ff = 0;
+  double r2 = 0.0;
+  double spearman = 0.0;
+  double mae = 0.0;
+  double train_seconds = 0.0;
+};
+
+void write_bench_json(const char* path, const std::vector<TransferRecord>& records) {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const TransferRecord& r = records[i];
+    std::fprintf(f,
+                 "  {\"target\": \"%s\", \"train_set\": \"%s\", "
+                 "\"model\": \"%s\", \"adapted\": %s, \"train_rows\": %zu, "
+                 "\"target_ffs\": %zu, \"injections_per_ff\": %zu, "
+                 "\"r2\": %.6f, \"spearman\": %.6f, \"mae\": %.6f, "
+                 "\"train_seconds\": %.6f}%s\n",
+                 r.target.c_str(), r.train_set.c_str(), r.model.c_str(),
+                 r.adapted ? "true" : "false", r.train_rows, r.target_ffs,
+                 r.injections_per_ff, r.r2, r.spearman, r.mae, r.train_seconds,
+                 i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("\nwrote %s (%zu records)\n", path, records.size());
+}
+
+std::size_t env_injections() {
+  if (const char* s = std::getenv("FFR_TRANSFER_INJECTIONS")) {
+    const long v = std::atol(s);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return 64;
+}
+
+core::TransferSample gather(const netlist::Netlist& nl, const sim::Testbench& tb,
+                            std::size_t injections) {
+  core::TransferConfig config;
+  config.injections_per_ff = injections;
+  return core::gather_transfer_sample(nl, tb, config);
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t injections = env_injections();
+  std::printf("cross-circuit transfer bench: leave-one-out over 3 circuits, "
+              "%zu injections/FF\n\n", injections);
+
+  // Build all three designs and run one campaign each (labels + ground truth).
+  circuits::MacConfig mac_config;
+  mac_config.tx_depth_log2 = 4;
+  mac_config.rx_depth_log2 = 4;
+  const circuits::MacCore mac = circuits::build_mac_core(mac_config);
+  const circuits::MacTestbench mac_bench = circuits::build_mac_testbench(mac, {});
+  const circuits::PipelineCore pipe = circuits::build_pipeline_core();
+  const circuits::PipelineTestbench pipe_bench =
+      circuits::build_pipeline_testbench(pipe, 96, 0.7, 0x51);
+  const circuits::RelayCore relay = circuits::build_relay_core();
+  const circuits::RelayTestbench relay_bench = circuits::build_relay_testbench(relay);
+
+  util::Stopwatch total;
+  std::vector<core::TransferSample> samples;
+  samples.push_back(gather(mac.netlist, mac_bench.tb, injections));
+  samples.push_back(gather(pipe.netlist, pipe_bench.tb, injections));
+  samples.push_back(gather(relay.netlist, relay_bench.tb, injections));
+  std::printf("campaigns done in %.1fs: ", total.elapsed_seconds());
+  for (const auto& s : samples) {
+    std::printf("%s (%zu FFs) ", s.name.c_str(), s.fdr.size());
+  }
+  std::printf("\n\n");
+
+  features::DomainScalerConfig raw_norms;
+  raw_norms.norms.assign(features::kNumFeatures, features::ColumnNorm::kIdentity);
+
+  std::vector<TransferRecord> records;
+  for (std::size_t held_out = 0; held_out < samples.size(); ++held_out) {
+    const core::TransferSample& target = samples[held_out];
+    std::vector<core::TransferSample> train;
+    std::string train_set;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      if (i == held_out) continue;
+      train.push_back(samples[i]);
+      if (!train_set.empty()) train_set += "+";
+      train_set += samples[i].name;
+    }
+
+    std::printf("target %s (train: %s)\n", target.name.c_str(), train_set.c_str());
+    util::TablePrinter table(
+        {"Model", "raw R2", "raw rho", "adapted R2", "adapted rho", "adapted MAE"});
+    for (const char* model :
+         {"linear", "knn_paper", "svr_paper", "random_forest"}) {
+      TransferRecord raw_rec;
+      raw_rec.target = target.name;
+      raw_rec.train_set = train_set;
+      raw_rec.model = model;
+      raw_rec.target_ffs = target.fdr.size();
+      raw_rec.injections_per_ff = injections;
+      TransferRecord adapted_rec = raw_rec;
+      adapted_rec.adapted = true;
+
+      core::TransferConfig config;
+      config.model = model;
+
+      util::Stopwatch raw_watch;
+      config.norms = raw_norms;
+      const core::TransferModel raw_model = core::train_transfer_model(train, config);
+      const linalg::Vector raw_pred = raw_model.predict(target.features);
+      raw_rec.train_seconds = raw_watch.elapsed_seconds();
+      raw_rec.train_rows = raw_model.train_rows();
+      raw_rec.r2 = ml::r2_score(target.fdr, raw_pred);
+      raw_rec.spearman = ml::spearman_rho(target.fdr, raw_pred);
+      raw_rec.mae = ml::mean_absolute_error(target.fdr, raw_pred);
+
+      util::Stopwatch adapted_watch;
+      config.norms = {};  // default transfer norms
+      const core::TransferModel adapted = core::train_transfer_model(train, config);
+      const linalg::Vector pred = adapted.predict(target.features);
+      adapted_rec.train_seconds = adapted_watch.elapsed_seconds();
+      adapted_rec.train_rows = adapted.train_rows();
+      adapted_rec.r2 = ml::r2_score(target.fdr, pred);
+      adapted_rec.spearman = ml::spearman_rho(target.fdr, pred);
+      adapted_rec.mae = ml::mean_absolute_error(target.fdr, pred);
+
+      table.add_row({model, util::TablePrinter::format(raw_rec.r2, 3),
+                     util::TablePrinter::format(raw_rec.spearman, 3),
+                     util::TablePrinter::format(adapted_rec.r2, 3),
+                     util::TablePrinter::format(adapted_rec.spearman, 3),
+                     util::TablePrinter::format(adapted_rec.mae, 3)});
+      records.push_back(raw_rec);
+      records.push_back(adapted_rec);
+    }
+    table.print();
+    std::printf("\n");
+  }
+
+  write_bench_json("BENCH_transfer.json", records);
+  return 0;
+}

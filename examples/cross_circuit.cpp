@@ -1,92 +1,142 @@
-// Cross-circuit generalization: train the FDR model on one design (the MAC
-// core) and predict a structurally different one (the pipelined checksum
-// datapath) — a step beyond the paper, which trains and predicts within a
-// single circuit. The per-instance features are design-agnostic, so the
-// experiment probes whether "what makes a flip-flop vulnerable" transfers.
+// Cross-circuit transfer serving: train the FDR model ONCE on two designs
+// (the MAC core and the pipelined checksum datapath), persist it to disk,
+// reload it in a fresh object, and predict a third design — the 1054-FF
+// relay_core — from a golden simulation alone, with zero fault injection on
+// the target for training. A ground-truth campaign on the relay (used only
+// for scoring, never for training) quantifies the transfer with R² and
+// Spearman rank correlation.
+//
+// The experiment also shows WHY the domain scaler exists: the same models
+// trained on raw stacked features (the seed repo's approach) fail outright
+// on the unseen circuit, while per-circuit standardization + rank
+// normalization (features::DomainScaler) makes the features comparable
+// across designs.
 //
 //   ./build/examples/cross_circuit
 
+#include <algorithm>
 #include <cstdio>
+#include <filesystem>
+#include <limits>
 
 #include "circuits/mac_core.hpp"
 #include "circuits/mac_testbench.hpp"
 #include "circuits/pipeline_core.hpp"
-#include "fault/campaign.hpp"
-#include "features/extractor.hpp"
+#include "circuits/relay_core.hpp"
+#include "core/transfer_flow.hpp"
+#include "features/domain_scaler.hpp"
 #include "ml/metrics.hpp"
-#include "ml/model_selection.hpp"
-#include "ml/model_zoo.hpp"
 #include "util/table_printer.hpp"
 
 namespace {
 
 using namespace ffr;
 
-struct CircuitData {
-  features::FeatureMatrix features;
-  linalg::Vector fdr;
-};
-
-CircuitData gather(const netlist::Netlist& nl, const sim::Testbench& tb,
-                   std::size_t injections) {
-  const sim::GoldenResult golden = sim::run_golden(nl, tb);
-  fault::CampaignConfig config;
+core::TransferSample gather(const netlist::Netlist& nl, const sim::Testbench& tb,
+                            std::size_t injections) {
+  core::TransferConfig config;
   config.injections_per_ff = injections;
-  const fault::CampaignResult campaign = fault::run_campaign(nl, tb, golden, config);
-  CircuitData data;
-  data.features = features::extract_features(nl, golden.activity);
-  data.fdr = campaign.fdr_vector();
-  return data;
+  return core::gather_transfer_sample(nl, tb, config);
 }
 
 }  // namespace
 
 int main() {
-  // Source domain: the MAC core (small config for speed).
+  // Training domains: the MAC core (small config for speed) and the
+  // pipeline core. Both are fault-injected once, at training time only.
   circuits::MacConfig mac_config;
   mac_config.tx_depth_log2 = 4;
   mac_config.rx_depth_log2 = 4;
   const circuits::MacCore mac = circuits::build_mac_core(mac_config);
   const circuits::MacTestbench mac_bench = circuits::build_mac_testbench(mac, {});
-  std::printf("train circuit: %s\n", mac.netlist.summary().c_str());
-  const CircuitData source = gather(mac.netlist, mac_bench.tb, 64);
-
-  // Target domain: the pipeline core (never fault-injected for training).
   const circuits::PipelineCore pipe = circuits::build_pipeline_core();
   const circuits::PipelineTestbench pipe_bench =
       circuits::build_pipeline_testbench(pipe, 96, 0.7, 0x51);
-  std::printf("test circuit : %s\n\n", pipe.netlist.summary().c_str());
-  const CircuitData target = gather(pipe.netlist, pipe_bench.tb, 64);
+  std::printf("train circuit: %s\n", mac.netlist.summary().c_str());
+  std::printf("train circuit: %s\n", pipe.netlist.summary().c_str());
 
-  util::TablePrinter table({"Model", "in-domain R2 (MAC, CV-like 50/50)",
-                            "cross-circuit R2 (-> pipeline)", "cross MAE"});
+  const std::vector<core::TransferSample> train = {
+      gather(mac.netlist, mac_bench.tb, 64),
+      gather(pipe.netlist, pipe_bench.tb, 64),
+  };
+
+  // Target domain: the paper-scale relay core. Its campaign is ground truth
+  // for SCORING only — the served prediction uses the golden run alone.
+  const circuits::RelayCore relay = circuits::build_relay_core();
+  const circuits::RelayTestbench relay_bench = circuits::build_relay_testbench(relay);
+  std::printf("target circuit: %s\n\n", relay.netlist.summary().c_str());
+  const core::TransferSample target =
+      gather(relay.netlist, relay_bench.tb, 64);
+
+  // Raw stacked features vs. per-circuit domain standardization.
+  features::DomainScalerConfig raw_norms;
+  raw_norms.norms.assign(features::kNumFeatures, features::ColumnNorm::kIdentity);
+
+  util::TablePrinter table({"Model", "raw R2", "raw rho", "adapted R2",
+                            "adapted rho", "adapted MAE"});
+  double worst_raw_r2 = std::numeric_limits<double>::infinity();
   for (const char* name : {"linear", "knn_paper", "svr_paper", "random_forest"}) {
-    // In-domain sanity: split the MAC data in half.
-    const auto split = ml::train_test_split(source.fdr.size(), 0.5, 7);
-    auto in_model = ml::make_model(name);
-    in_model->fit(ml::take_rows(source.features.values, split.train),
-                  ml::take(source.fdr, split.train));
-    const double in_r2 = ml::r2_score(
-        ml::take(source.fdr, split.test),
-        in_model->predict(ml::take_rows(source.features.values, split.test)));
+    core::TransferConfig config;
+    config.model = name;
 
-    // Cross-circuit: train on ALL of the MAC, predict the pipeline.
-    auto cross_model = ml::make_model(name);
-    cross_model->fit(source.features.values, source.fdr);
-    const linalg::Vector pred = cross_model->predict(target.features.values);
-    const double cross_r2 = ml::r2_score(target.fdr, pred);
-    const double cross_mae = ml::mean_absolute_error(target.fdr, pred);
+    config.norms = raw_norms;
+    const core::TransferModel raw_model = core::train_transfer_model(train, config);
+    const linalg::Vector raw_pred = raw_model.predict(target.features);
+    worst_raw_r2 = std::min(worst_raw_r2, ml::r2_score(target.fdr, raw_pred));
 
-    table.add_row({name, util::TablePrinter::format(in_r2, 3),
-                   util::TablePrinter::format(cross_r2, 3),
-                   util::TablePrinter::format(cross_mae, 3)});
+    config.norms = {};  // default transfer norms: rank + identity mix
+    const core::TransferModel adapted = core::train_transfer_model(train, config);
+    const linalg::Vector pred = adapted.predict(target.features);
+
+    table.add_row(
+        {name,
+         util::TablePrinter::format(ml::r2_score(target.fdr, raw_pred), 3),
+         util::TablePrinter::format(ml::spearman_rho(target.fdr, raw_pred), 3),
+         util::TablePrinter::format(ml::r2_score(target.fdr, pred), 3),
+         util::TablePrinter::format(ml::spearman_rho(target.fdr, pred), 3),
+         util::TablePrinter::format(ml::mean_absolute_error(target.fdr, pred), 3)});
   }
   table.print();
+
+  // Train-once / predict-many serving: persist the tuned k-NN transfer
+  // model, reload it in a fresh object, and check the served predictions
+  // are bit-identical to the in-memory model's.
+  core::TransferConfig config;
+  config.model = "knn_paper";
+  const core::TransferModel trained = core::train_transfer_model(train, config);
+  const std::filesystem::path model_path =
+      std::filesystem::temp_directory_path() / "fferate_transfer_model.txt";
+  trained.save(model_path);
+  const core::TransferModel served = core::TransferModel::load(model_path);
+
+  const linalg::Vector in_memory = trained.predict(target.features);
+  const linalg::Vector reloaded = served.predict(target.features);
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < in_memory.size(); ++i) {
+    if (in_memory[i] != reloaded[i]) ++mismatches;
+  }
+
   std::printf(
-      "\nCross-circuit transfer fails outright (negative R2: worse than the\n"
-      "mean predictor) while in-domain prediction is excellent — feature\n"
-      "scales and vulnerability regimes are design-specific. This is direct\n"
-      "evidence for the paper's design choice of training per circuit, and\n"
-      "marks transfer/domain adaptation as genuine future work.\n");
-  return 0;
+      "\npersisted %s (trained on %s+%s, %zu rows) to %s (%ju bytes)\n",
+      served.model_name().c_str(), served.train_circuits()[0].c_str(),
+      served.train_circuits()[1].c_str(), served.train_rows(),
+      model_path.string().c_str(),
+      static_cast<std::uintmax_t>(std::filesystem::file_size(model_path)));
+  std::printf("reloaded model predictions: %zu/%zu bit-identical (%s)\n",
+              in_memory.size() - mismatches, in_memory.size(),
+              mismatches == 0 ? "OK" : "MISMATCH");
+  std::printf(
+      "served relay_core FDR without injecting it: R2=%.3f, Spearman rho=%.3f\n",
+      ml::r2_score(target.fdr, reloaded),
+      ml::spearman_rho(target.fdr, reloaded));
+  std::printf(
+      "\nRaw-feature transfer fails outright (R2 down to %.1f: wildly\n"
+      "mis-scaled predictions). Per-circuit domain standardization puts the\n"
+      "predictions on a sane scale and recovers part of the vulnerability\n"
+      "ranking (rho > 0); the remaining absolute-scale gap is the target's\n"
+      "circuit-level FDR (FIFO occupancy physics the per-FF features cannot\n"
+      "see) and is tracked in the ROADMAP. The serving mechanics are exact:\n"
+      "train once, persist, reload anywhere, predict bit-identically.\n",
+      worst_raw_r2);
+  return mismatches == 0 ? 0 : 1;
 }

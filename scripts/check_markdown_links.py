@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Checks that every relative markdown link in the repo's documentation
+points at a file that exists.
+
+Scans the top-level *.md files and docs/*.md for inline links
+``[text](target)``; external schemes (http/https/mailto) are skipped, and
+``#anchor`` suffixes are stripped before the existence check. Exits
+non-zero listing every broken link. Run from the repository root:
+
+    python3 scripts/check_markdown_links.py
+"""
+
+import pathlib
+import re
+import sys
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def candidate_files(root: pathlib.Path):
+    yield from sorted(root.glob("*.md"))
+    yield from sorted((root / "docs").glob("*.md"))
+
+
+def main() -> int:
+    root = pathlib.Path(__file__).resolve().parent.parent
+    broken = []
+    checked = 0
+    for md_file in candidate_files(root):
+        text = md_file.read_text(encoding="utf-8")
+        for match in LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (md_file.parent / path).resolve()
+            checked += 1
+            if not resolved.exists():
+                line = text.count("\n", 0, match.start()) + 1
+                broken.append(f"{md_file.relative_to(root)}:{line}: {target}")
+    if broken:
+        print("broken markdown links:")
+        for entry in broken:
+            print(f"  {entry}")
+        return 1
+    print(f"markdown links OK ({checked} relative links checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,109 @@
+#include "features/domain_scaler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "features/extractor.hpp"
+
+namespace ffr::features {
+
+std::vector<ColumnNorm> default_transfer_norms() {
+  // z-score removes each circuit's linear feature scale (fan-in counts,
+  // cone sizes, proximity depths); it measurably beats rank normalization
+  // for those columns on the mac+pipeline -> relay benchmark because the
+  // relative magnitudes it preserves carry signal. Rank is kept for the
+  // state-change count, whose heavy-tailed shape differs per workload, so
+  // only its order transfers.
+  std::vector<ColumnNorm> norms(kNumFeatures, ColumnNorm::kZScore);
+  const auto identity = [&](Feature f) {
+    norms[index_of(f)] = ColumnNorm::kIdentity;
+  };
+  // Flags and 0-1 ratios are already comparable across circuits; drive
+  // strength comes from one shared cell library.
+  identity(Feature::kPartOfBus);
+  identity(Feature::kHasFeedbackLoop);
+  identity(Feature::kDriveStrength);
+  identity(Feature::kAt0Ratio);
+  identity(Feature::kAt1Ratio);
+  norms[index_of(Feature::kStateChanges)] = ColumnNorm::kRank;
+  return norms;
+}
+
+DomainScaler::DomainScaler(DomainScalerConfig config)
+    : norms_(config.norms.empty() ? default_transfer_norms()
+                                  : std::move(config.norms)) {
+  for (const ColumnNorm norm : norms_) {
+    const int value = static_cast<int>(norm);
+    if (value < 0 || value > 2) {
+      throw std::invalid_argument("DomainScaler: invalid ColumnNorm value " +
+                                  std::to_string(value));
+    }
+  }
+}
+
+namespace {
+
+void zscore_column(linalg::Matrix& out, const linalg::Matrix& x, std::size_t c) {
+  // Statistics over real values only; -1 sentinels would otherwise drag the
+  // mean of sparse columns (e.g. feedback depth) toward the sentinel.
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  std::size_t count = 0;
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const double v = x(r, c);
+    if (v == kNoValue) continue;
+    sum += v;
+    sum_sq += v * v;
+    ++count;
+  }
+  const double mean = count > 0 ? sum / static_cast<double>(count) : 0.0;
+  const double var =
+      count > 0 ? std::max(0.0, sum_sq / static_cast<double>(count) - mean * mean)
+                : 0.0;
+  const double std = var > 0.0 ? std::sqrt(var) : 1.0;
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    out(r, c) = (x(r, c) - mean) / std;
+  }
+}
+
+void rank_column(linalg::Matrix& out, const linalg::Matrix& x, std::size_t c) {
+  const linalg::Vector ranks = linalg::midranks(x.col_copy(c));
+  // Midrank fraction (midrank - 0.5) / n: invariant under duplication of
+  // the whole circuit and under any monotone rescaling of the column.
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    out(r, c) = (ranks[r] - 0.5) / static_cast<double>(x.rows());
+  }
+}
+
+}  // namespace
+
+linalg::Matrix DomainScaler::standardize(const linalg::Matrix& x) const {
+  if (x.rows() == 0) {
+    throw std::invalid_argument("DomainScaler: empty feature matrix");
+  }
+  if (x.cols() != norms_.size()) {
+    throw std::invalid_argument(
+        "DomainScaler: configured for " + std::to_string(norms_.size()) +
+        " columns but X is " + std::to_string(x.rows()) + "x" +
+        std::to_string(x.cols()));
+  }
+  linalg::Matrix out(x.rows(), x.cols());
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    switch (norms_[c]) {
+      case ColumnNorm::kIdentity:
+        for (std::size_t r = 0; r < x.rows(); ++r) out(r, c) = x(r, c);
+        break;
+      case ColumnNorm::kZScore:
+        zscore_column(out, x, c);
+        break;
+      case ColumnNorm::kRank:
+        rank_column(out, x, c);
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace ffr::features

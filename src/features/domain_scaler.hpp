@@ -1,0 +1,85 @@
+#pragma once
+/// \file domain_scaler.hpp
+/// \brief Per-circuit feature standardization for cross-circuit transfer.
+///
+/// The paper trains and predicts within one circuit, where a model (or an
+/// ml::ScaledPipeline) can standardize features against the *training set's*
+/// statistics. Across circuits that breaks down: fan-in counts, proximity
+/// depths and state-change counts live on scales set by each design's
+/// topology and testbench length, so a model fitted on one circuit's raw
+/// scales extrapolates wildly on another (examples/cross_circuit
+/// demonstrates the failure). The DomainScaler removes the per-design scale
+/// by normalizing every feature column against the statistics of the
+/// circuit it came from — the target's own feature matrix, never the
+/// training circuit's — which is what lets one trained model serve many
+/// designs (core/transfer_flow.hpp).
+///
+/// Two normalizations are available per column:
+/// - **z-score** within the circuit, with the paper's -1 "no value"
+///   sentinels excluded from the statistics (they are transformed with the
+///   same affine map afterwards, so they stay distinguishably low);
+/// - **rank** (quantile) normalization: each value maps to its midrank
+///   fraction `(midrank - 0.5) / n` in (0, 1). This is invariant to any
+///   monotone per-circuit rescaling and to circuit size, which suits
+///   topology-dependent counts (fan-in/out, cone sizes, depths) whose
+///   absolute magnitudes mean nothing outside their design.
+///
+/// default_transfer_norms() z-scores the topology-scaled counts and depths,
+/// rank-normalizes the heavy-tailed state-change count, and keeps
+/// already-comparable columns (flags, 0-1 activity ratios, drive strength)
+/// identity.
+
+#include <vector>
+
+#include "features/feature_set.hpp"
+#include "linalg/matrix.hpp"
+
+namespace ffr::features {
+
+/// Normalization applied to one feature column by DomainScaler.
+enum class ColumnNorm : int {
+  kIdentity = 0,  ///< Pass through (already comparable across circuits).
+  kZScore = 1,    ///< Standardize against the circuit's own mean/std.
+  kRank = 2,      ///< Midrank fraction in (0, 1) within the circuit.
+};
+
+/// \return The per-column default for cross-circuit transfer, in
+/// FeatureMatrix column order (size kNumFeatures): z-score for
+/// topology-scaled counts and depths, rank for the state-change count,
+/// identity for flags, 0-1 ratios and drive strength.
+[[nodiscard]] std::vector<ColumnNorm> default_transfer_norms();
+
+/// DomainScaler configuration: one ColumnNorm per feature column.
+struct DomainScalerConfig {
+  /// Per-column normalization; empty means default_transfer_norms().
+  std::vector<ColumnNorm> norms;
+};
+
+/// Standardizes a circuit's feature matrix against that circuit's own
+/// statistics. Unlike ml::StandardScaler the DomainScaler is deliberately
+/// stateless across calls: statistics are recomputed per matrix, because
+/// using any *other* circuit's statistics is exactly the transfer failure
+/// this class exists to remove.
+class DomainScaler {
+ public:
+  /// \param config Per-column normalization modes; an empty `config.norms`
+  ///        selects default_transfer_norms().
+  /// \throws std::invalid_argument on an out-of-range ColumnNorm value.
+  explicit DomainScaler(DomainScalerConfig config = {});
+
+  /// Normalizes every column of `x` per its configured mode, using
+  /// statistics computed from `x` itself.
+  /// \throws std::invalid_argument when `x` is empty or its column count
+  ///         differs from the configured norms (message names both).
+  [[nodiscard]] linalg::Matrix standardize(const linalg::Matrix& x) const;
+
+  /// \return The per-column normalization modes in effect.
+  [[nodiscard]] const std::vector<ColumnNorm>& norms() const noexcept {
+    return norms_;
+  }
+
+ private:
+  std::vector<ColumnNorm> norms_;
+};
+
+}  // namespace ffr::features

@@ -205,6 +205,25 @@ double mean(std::span<const double> values) {
   return sum / static_cast<double>(values.size());
 }
 
+Vector midranks(std::span<const double> values) {
+  const std::size_t n = values.size();
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return values[a] < values[b];
+  });
+  Vector ranks(n);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    const double rank = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (std::size_t t = i; t <= j; ++t) ranks[order[t]] = rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
 double variance(std::span<const double> values) {
   const double m = mean(values);
   double sum = 0.0;

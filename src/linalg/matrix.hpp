@@ -103,6 +103,9 @@ class Matrix {
                           std::span<const double> y);  // alpha*x + y
 
 [[nodiscard]] double mean(std::span<const double> values);
+/// 1-based ranks with ties averaged (midranks), the standard convention of
+/// Spearman correlation and quantile normalization.
+[[nodiscard]] Vector midranks(std::span<const double> values);
 /// Population variance (divide by n), matching scikit-learn's
 /// explained_variance_score convention.
 [[nodiscard]] double variance(std::span<const double> values);

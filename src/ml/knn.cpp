@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "ml/serialize.hpp"
 
 namespace ffr::ml {
 
@@ -59,11 +63,42 @@ void KnnRegressor::fit(const Matrix& x, std::span<const double> y) {
   train_y_.assign(y.begin(), y.end());
 }
 
+void KnnRegressor::save(std::ostream& os) const {
+  if (!is_fitted()) throw std::logic_error("knn save: not fitted");
+  io::write_header(os, "knn");
+  os << "k " << k_ << "\np ";
+  io::write_double(os, p_);
+  os << "\nweights " << static_cast<int>(weights_) << '\n';
+  io::write_matrix(os, "train_x", train_x_);
+  io::write_vector(os, "train_y", train_y_);
+  os << "end\n";
+}
+
+std::unique_ptr<KnnRegressor> KnnRegressor::load_body(std::istream& is) {
+  io::expect_token(is, "k");
+  const auto k = static_cast<std::size_t>(io::read_size(is));
+  io::expect_token(is, "p");
+  const double p = io::read_double(is);
+  io::expect_token(is, "weights");
+  const std::uint64_t weights = io::read_size(is);
+  if (weights > 1) {
+    throw std::runtime_error("load_model: knn weights must be 0 or 1, got " +
+                             std::to_string(weights));
+  }
+  auto model = std::make_unique<KnnRegressor>(
+      k, p, weights != 0 ? KnnWeights::kDistance : KnnWeights::kUniform);
+  model->train_x_ = io::read_matrix(is, "train_x");
+  model->train_y_ = io::read_vector(is, "train_y");
+  if (model->train_y_.size() != model->train_x_.rows()) {
+    throw std::runtime_error("load_model: knn train_x/train_y row mismatch");
+  }
+  io::expect_token(is, "end");
+  return model;
+}
+
 Vector KnnRegressor::predict(const Matrix& x) const {
   if (!is_fitted()) throw std::logic_error("knn: not fitted");
-  if (x.cols() != train_x_.cols()) {
-    throw std::invalid_argument("knn predict: feature count mismatch");
-  }
+  check_predict_args(name(), train_x_.cols(), x);
   const std::size_t n_train = train_x_.rows();
   const std::size_t k = std::min(k_, n_train);
 

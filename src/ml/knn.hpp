@@ -24,6 +24,10 @@ class KnnRegressor final : public Regressor {
   [[nodiscard]] std::string name() const override { return "knn"; }
   [[nodiscard]] bool is_fitted() const noexcept override { return !train_y_.empty(); }
 
+  void save(std::ostream& os) const override;
+  /// Reads the body written by save() (header already consumed).
+  [[nodiscard]] static std::unique_ptr<KnnRegressor> load_body(std::istream& is);
+
   /// Parameters: "k" (>=1), "p" (Minkowski exponent), "weights" (0 uniform,
   /// 1 inverse distance).
   void set_params(const ParamMap& params) override;

@@ -1,6 +1,10 @@
 #include "ml/linear.hpp"
 
+#include <istream>
+#include <ostream>
+
 #include "linalg/decompositions.hpp"
+#include "ml/serialize.hpp"
 
 namespace ffr::ml {
 
@@ -15,14 +19,33 @@ void LinearLeastSquares::fit(const Matrix& x, std::span<const double> y) {
 
 Vector LinearLeastSquares::predict(const Matrix& x) const {
   if (!fitted_) throw std::logic_error("LinearLeastSquares: not fitted");
-  if (x.cols() != coef_.size()) {
-    throw std::invalid_argument("predict: feature count mismatch");
-  }
+  check_predict_args(name(), coef_.size(), x);
   Vector out(x.rows());
   for (std::size_t r = 0; r < x.rows(); ++r) {
     out[r] = intercept_ + linalg::dot(x.row(r), coef_);
   }
   return out;
+}
+
+void LinearLeastSquares::save(std::ostream& os) const {
+  if (!fitted_) throw std::logic_error("linear_least_squares save: not fitted");
+  io::write_header(os, "linear_least_squares");
+  os << "intercept ";
+  io::write_double(os, intercept_);
+  os << '\n';
+  io::write_vector(os, "coef", coef_);
+  os << "end\n";
+}
+
+std::unique_ptr<LinearLeastSquares> LinearLeastSquares::load_body(
+    std::istream& is) {
+  auto model = std::make_unique<LinearLeastSquares>();
+  io::expect_token(is, "intercept");
+  model->intercept_ = io::read_double(is);
+  model->coef_ = io::read_vector(is, "coef");
+  io::expect_token(is, "end");
+  model->fitted_ = true;
+  return model;
 }
 
 void RidgeRegression::set_params(const ParamMap& params) {
@@ -58,14 +81,35 @@ void RidgeRegression::fit(const Matrix& x, std::span<const double> y) {
 
 Vector RidgeRegression::predict(const Matrix& x) const {
   if (!fitted_) throw std::logic_error("ridge: not fitted");
-  if (x.cols() != coef_.size()) {
-    throw std::invalid_argument("predict: feature count mismatch");
-  }
+  check_predict_args(name(), coef_.size(), x);
   Vector out(x.rows());
   for (std::size_t r = 0; r < x.rows(); ++r) {
     out[r] = intercept_ + linalg::dot(x.row(r), coef_);
   }
   return out;
+}
+
+void RidgeRegression::save(std::ostream& os) const {
+  if (!fitted_) throw std::logic_error("ridge save: not fitted");
+  io::write_header(os, "ridge");
+  os << "alpha ";
+  io::write_double(os, alpha_);
+  os << "\nintercept ";
+  io::write_double(os, intercept_);
+  os << '\n';
+  io::write_vector(os, "coef", coef_);
+  os << "end\n";
+}
+
+std::unique_ptr<RidgeRegression> RidgeRegression::load_body(std::istream& is) {
+  io::expect_token(is, "alpha");
+  auto model = std::make_unique<RidgeRegression>(io::read_double(is));
+  io::expect_token(is, "intercept");
+  model->intercept_ = io::read_double(is);
+  model->coef_ = io::read_vector(is, "coef");
+  io::expect_token(is, "end");
+  model->fitted_ = true;
+  return model;
 }
 
 }  // namespace ffr::ml

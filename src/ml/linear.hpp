@@ -17,6 +17,12 @@ class LinearLeastSquares final : public Regressor {
   [[nodiscard]] std::string name() const override { return "linear_least_squares"; }
   [[nodiscard]] bool is_fitted() const noexcept override { return fitted_; }
 
+  void save(std::ostream& os) const override;
+  /// Reads the body written by save() (header already consumed by
+  /// ml::load_model).
+  [[nodiscard]] static std::unique_ptr<LinearLeastSquares> load_body(
+      std::istream& is);
+
   [[nodiscard]] double intercept() const noexcept { return intercept_; }
   [[nodiscard]] const Vector& coefficients() const noexcept { return coef_; }
 
@@ -39,6 +45,11 @@ class RidgeRegression final : public Regressor {
   }
   [[nodiscard]] std::string name() const override { return "ridge"; }
   [[nodiscard]] bool is_fitted() const noexcept override { return fitted_; }
+
+  void save(std::ostream& os) const override;
+  /// Reads the body written by save() (header already consumed).
+  [[nodiscard]] static std::unique_ptr<RidgeRegression> load_body(
+      std::istream& is);
 
   void set_params(const ParamMap& params) override;
   [[nodiscard]] ParamMap get_params() const override { return {{"alpha", alpha_}}; }

@@ -1,5 +1,6 @@
 #include "ml/metrics.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <stdexcept>
@@ -78,6 +79,27 @@ double r2_score(std::span<const double> y_true, std::span<const double> y_pred) 
   }
   if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
   return 1.0 - ss_res / ss_tot;
+}
+
+double spearman_rho(std::span<const double> y_true,
+                    std::span<const double> y_pred) {
+  check(y_true, y_pred);
+  const linalg::Vector ra = linalg::midranks(y_true);
+  const linalg::Vector rb = linalg::midranks(y_pred);
+  const double mean_a = linalg::mean(ra);
+  const double mean_b = linalg::mean(rb);
+  double cov = 0.0;
+  double var_a = 0.0;
+  double var_b = 0.0;
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    const double da = ra[i] - mean_a;
+    const double db = rb[i] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a == 0.0 || var_b == 0.0) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
 }
 
 RegressionMetrics& RegressionMetrics::operator+=(

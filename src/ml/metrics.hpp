@@ -28,6 +28,14 @@ namespace ffr::ml {
 [[nodiscard]] double r2_score(std::span<const double> y_true,
                               std::span<const double> y_pred);
 
+/// Spearman rank correlation in [-1, 1]: the Pearson correlation of the two
+/// inputs' midranks (ties averaged). Scale-free, so it is the natural score
+/// for cross-circuit transfer, where a model can rank flip-flop
+/// vulnerability correctly even when its absolute FDR estimates are off.
+/// Returns 0 when either input is constant.
+[[nodiscard]] double spearman_rho(std::span<const double> y_true,
+                                  std::span<const double> y_pred);
+
 /// All five metrics of Table I.
 struct RegressionMetrics {
   double mae = 0.0;

@@ -10,11 +10,13 @@
 /// (model_zoo.hpp) constructs them by name with the paper's tuned
 /// configurations.
 
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 #include "linalg/matrix.hpp"
 
@@ -62,13 +64,38 @@ class Regressor {
   /// \return Whether fit() has completed, i.e. predict() may be called.
   [[nodiscard]] virtual bool is_fitted() const noexcept = 0;
 
+  /// Serializes hyperparameters plus the complete fitted state in the
+  /// versioned text format of serialize.hpp; ml::load_model() reconstructs
+  /// the model and its predictions bit-identically.
+  /// \throws std::logic_error when the model is not fitted.
+  virtual void save(std::ostream& os) const = 0;
+
  protected:
+  /// Validates fit() inputs; the error names both shapes.
+  /// \throws std::invalid_argument on an empty matrix or a row/label mismatch.
   static void check_fit_args(const Matrix& x, std::span<const double> y) {
     if (x.rows() == 0 || x.cols() == 0) {
-      throw std::invalid_argument("fit: empty design matrix");
+      throw std::invalid_argument("fit: empty design matrix (X is " +
+                                  std::to_string(x.rows()) + "x" +
+                                  std::to_string(x.cols()) + ")");
     }
     if (x.rows() != y.size()) {
-      throw std::invalid_argument("fit: X/y row mismatch");
+      throw std::invalid_argument(
+          "fit: X has " + std::to_string(x.rows()) + " rows but y has " +
+          std::to_string(y.size()) + " labels");
+    }
+  }
+
+  /// Validates that predict() sees the feature count the model was fitted
+  /// on; the error names the model and both shapes.
+  /// \throws std::invalid_argument on feature-count drift.
+  static void check_predict_args(std::string_view model,
+                                 std::size_t fitted_features, const Matrix& x) {
+    if (x.cols() != fitted_features) {
+      throw std::invalid_argument(
+          std::string(model) + " predict: model was fitted on " +
+          std::to_string(fitted_features) + " features but X is " +
+          std::to_string(x.rows()) + "x" + std::to_string(x.cols()));
     }
   }
 };

@@ -1,7 +1,10 @@
 #pragma once
 /// \file model_zoo.hpp
 /// \brief Named model factory with the paper's tuned configurations, so benches,
-/// examples and the estimation flow can request models uniformly.
+/// examples and the estimation/transfer flows can request models uniformly.
+/// Every zoo model is serializable: fit it, persist with Regressor::save()
+/// (or save_model_file()), and reconstruct it — bit-identical predictions
+/// included — with ml::load_model() (see serialize.hpp).
 
 #include <memory>
 #include <string_view>
@@ -11,13 +14,14 @@
 
 namespace ffr::ml {
 
-/// Models known to the zoo. "paper" variants use the hyperparameters the
-/// paper reports after its random+grid search (k-NN: k=3, Manhattan,
+/// Constructs a zoo model by name. "paper" variants use the hyperparameters
+/// the paper reports after its random+grid search (k-NN: k=3, Manhattan,
 /// distance weights; SVR: RBF, C=3.5, gamma=0.055, epsilon=0.025). All
 /// distance/kernel models are wrapped in a standardizing pipeline.
 ///
 /// Names: "linear", "ridge", "knn_paper", "knn", "svr_paper", "svr",
 /// "decision_tree", "random_forest", "gradient_boosting".
+/// \throws std::invalid_argument on an unknown name.
 [[nodiscard]] std::unique_ptr<Regressor> make_model(std::string_view name);
 
 /// All zoo names (for iteration in benches/tests).

@@ -2,6 +2,9 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
+
+#include "ml/serialize.hpp"
 
 namespace ffr::ml {
 
@@ -20,7 +23,10 @@ void StandardScaler::fit(const linalg::Matrix& x) {
 linalg::Matrix StandardScaler::transform(const linalg::Matrix& x) const {
   if (!is_fitted()) throw std::logic_error("StandardScaler: not fitted");
   if (x.cols() != mean_.size()) {
-    throw std::invalid_argument("StandardScaler: column count mismatch");
+    throw std::invalid_argument(
+        "StandardScaler: fitted on " + std::to_string(mean_.size()) +
+        " columns but X is " + std::to_string(x.rows()) + "x" +
+        std::to_string(x.cols()));
   }
   linalg::Matrix out(x.rows(), x.cols());
   for (std::size_t r = 0; r < x.rows(); ++r) {
@@ -29,6 +35,22 @@ linalg::Matrix StandardScaler::transform(const linalg::Matrix& x) const {
     }
   }
   return out;
+}
+
+void StandardScaler::save(std::ostream& os) const {
+  if (!is_fitted()) throw std::logic_error("StandardScaler::save: not fitted");
+  io::write_vector(os, "scaler_mean", mean_);
+  io::write_vector(os, "scaler_std", std_);
+}
+
+StandardScaler StandardScaler::load(std::istream& is) {
+  StandardScaler scaler;
+  scaler.mean_ = io::read_vector(is, "scaler_mean");
+  scaler.std_ = io::read_vector(is, "scaler_std");
+  if (scaler.std_.size() != scaler.mean_.size()) {
+    throw std::runtime_error("StandardScaler::load: mean/std size mismatch");
+  }
+  return scaler;
 }
 
 void MinMaxScaler::fit(const linalg::Matrix& x) {
@@ -46,7 +68,10 @@ void MinMaxScaler::fit(const linalg::Matrix& x) {
 linalg::Matrix MinMaxScaler::transform(const linalg::Matrix& x) const {
   if (!is_fitted()) throw std::logic_error("MinMaxScaler: not fitted");
   if (x.cols() != min_.size()) {
-    throw std::invalid_argument("MinMaxScaler: column count mismatch");
+    throw std::invalid_argument(
+        "MinMaxScaler: fitted on " + std::to_string(min_.size()) +
+        " columns but X is " + std::to_string(x.rows()) + "x" +
+        std::to_string(x.cols()));
   }
   linalg::Matrix out(x.rows(), x.cols());
   for (std::size_t r = 0; r < x.rows(); ++r) {

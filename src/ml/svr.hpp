@@ -36,6 +36,11 @@ class SvrRegressor final : public Regressor {
   [[nodiscard]] std::string name() const override { return "svr"; }
   [[nodiscard]] bool is_fitted() const noexcept override { return fitted_; }
 
+  void save(std::ostream& os) const override;
+  /// Reads the body written by save() (header already consumed). final_gap()
+  /// is a training diagnostic and is not persisted; it reloads as 0.
+  [[nodiscard]] static std::unique_ptr<SvrRegressor> load_body(std::istream& is);
+
   /// Parameters: "C", "epsilon", "gamma", "kernel" (0 rbf / 1 linear /
   /// 2 poly), "degree".
   void set_params(const ParamMap& params) override;
@@ -58,6 +63,7 @@ class SvrRegressor final : public Regressor {
   Vector support_beta_;
   double bias_ = 0.0;
   double final_gap_ = 0.0;
+  std::size_t n_features_ = 0;
   bool fitted_ = false;
 };
 

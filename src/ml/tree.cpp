@@ -2,9 +2,46 @@
 
 #include <algorithm>
 #include <cmath>
+#include <istream>
 #include <numeric>
+#include <ostream>
+
+#include "ml/serialize.hpp"
 
 namespace ffr::ml {
+
+namespace {
+
+void write_tree_config(std::ostream& os, const TreeConfig& config) {
+  os << "tree_config " << config.max_depth << ' ' << config.min_samples_split
+     << ' ' << config.min_samples_leaf << ' ' << config.max_features << ' '
+     << config.seed << '\n';
+}
+
+TreeConfig read_tree_config(std::istream& is) {
+  io::expect_token(is, "tree_config");
+  TreeConfig config;
+  config.max_depth = static_cast<std::size_t>(io::read_size(is));
+  config.min_samples_split = static_cast<std::size_t>(io::read_size(is));
+  config.min_samples_leaf = static_cast<std::size_t>(io::read_size(is));
+  config.max_features = static_cast<std::size_t>(io::read_size(is));
+  config.seed = io::read_size(is, ~std::uint64_t{0});
+  return config;
+}
+
+/// Reads a nested full model block and requires it to be a decision tree.
+DecisionTreeRegressor load_nested_tree(std::istream& is) {
+  io::expect_token(is, "ffr-model");
+  const std::uint64_t version = io::read_size(is);
+  if (version != static_cast<std::uint64_t>(kModelFormatVersion)) {
+    throw std::runtime_error("load_model: unsupported format version " +
+                             std::to_string(version) + " in nested tree");
+  }
+  io::expect_token(is, "decision_tree");
+  return std::move(*DecisionTreeRegressor::load_body(is));
+}
+
+}  // namespace
 
 // ---- DecisionTreeRegressor ---------------------------------------------------
 
@@ -165,12 +202,58 @@ double DecisionTreeRegressor::predict_row(std::span<const double> row) const {
 
 Vector DecisionTreeRegressor::predict(const Matrix& x) const {
   if (!is_fitted()) throw std::logic_error("tree: not fitted");
-  if (x.cols() != n_features_) {
-    throw std::invalid_argument("tree predict: feature count mismatch");
-  }
+  check_predict_args(name(), n_features_, x);
   Vector out(x.rows());
   for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict_row(x.row(r));
   return out;
+}
+
+void DecisionTreeRegressor::save(std::ostream& os) const {
+  if (!is_fitted()) throw std::logic_error("decision_tree save: not fitted");
+  io::write_header(os, "decision_tree");
+  write_tree_config(os, config_);
+  os << "n_features " << n_features_ << "\ndepth " << depth_ << "\nnodes "
+     << nodes_.size() << '\n';
+  for (const Node& node : nodes_) {
+    os << node.feature << ' ';
+    io::write_double(os, node.threshold);
+    os << ' ' << node.left << ' ' << node.right << ' ';
+    io::write_double(os, node.value);
+    os << '\n';
+  }
+  os << "end\n";
+}
+
+std::unique_ptr<DecisionTreeRegressor> DecisionTreeRegressor::load_body(
+    std::istream& is) {
+  auto model = std::make_unique<DecisionTreeRegressor>(read_tree_config(is));
+  io::expect_token(is, "n_features");
+  model->n_features_ = static_cast<std::size_t>(io::read_size(is));
+  io::expect_token(is, "depth");
+  model->depth_ = static_cast<std::size_t>(io::read_size(is));
+  io::expect_token(is, "nodes");
+  const auto count = static_cast<std::size_t>(io::read_size(is));
+  model->nodes_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Node node;
+    node.feature = static_cast<std::uint32_t>(io::read_size(is, ~std::uint32_t{0}));
+    node.threshold = io::read_double(is);
+    node.left = static_cast<std::uint32_t>(io::read_size(is, ~std::uint32_t{0}));
+    node.right = static_cast<std::uint32_t>(io::read_size(is, ~std::uint32_t{0}));
+    node.value = io::read_double(is);
+    // build() always emits children after their parent, so forward-only
+    // child links also guarantee predict() terminates on any loaded file.
+    if (node.feature != Node::kLeaf &&
+        (node.feature >= model->n_features_ || node.left <= i ||
+         node.left >= count || node.right <= i || node.right >= count)) {
+      throw std::runtime_error(
+          "load_model: decision_tree node " + std::to_string(i) +
+          " references an out-of-range feature or child");
+    }
+    model->nodes_.push_back(node);
+  }
+  io::expect_token(is, "end");
+  return model;
 }
 
 // ---- RandomForestRegressor ---------------------------------------------------
@@ -225,8 +308,43 @@ void RandomForestRegressor::fit(const Matrix& x, std::span<const double> y) {
   }
 }
 
+void RandomForestRegressor::save(std::ostream& os) const {
+  if (!is_fitted()) throw std::logic_error("random_forest save: not fitted");
+  io::write_header(os, "random_forest");
+  os << "config " << config_.n_estimators << ' ';
+  io::write_double(os, config_.max_features_frac);
+  os << ' ' << config_.seed << '\n';
+  write_tree_config(os, config_.tree);
+  os << "trees " << trees_.size() << '\n';
+  for (const auto& tree : trees_) tree.save(os);
+  os << "end\n";
+}
+
+std::unique_ptr<RandomForestRegressor> RandomForestRegressor::load_body(
+    std::istream& is) {
+  io::expect_token(is, "config");
+  ForestConfig config;
+  config.n_estimators = static_cast<std::size_t>(io::read_size(is));
+  config.max_features_frac = io::read_double(is);
+  config.seed = io::read_size(is, ~std::uint64_t{0});
+  config.tree = read_tree_config(is);
+  auto model = std::make_unique<RandomForestRegressor>(config);
+  io::expect_token(is, "trees");
+  const auto count = static_cast<std::size_t>(io::read_size(is));
+  if (count == 0) {
+    throw std::runtime_error("load_model: random_forest with no trees");
+  }
+  model->trees_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    model->trees_.push_back(load_nested_tree(is));
+  }
+  io::expect_token(is, "end");
+  return model;
+}
+
 Vector RandomForestRegressor::predict(const Matrix& x) const {
   if (!is_fitted()) throw std::logic_error("forest: not fitted");
+  check_predict_args(name(), trees_.front().num_features(), x);
   Vector out(x.rows(), 0.0);
   for (const auto& tree : trees_) {
     const Vector pred = tree.predict(x);
@@ -286,8 +404,50 @@ void GradientBoostingRegressor::fit(const Matrix& x, std::span<const double> y) 
   fitted_ = true;
 }
 
+void GradientBoostingRegressor::save(std::ostream& os) const {
+  if (!fitted_) throw std::logic_error("gradient_boosting save: not fitted");
+  io::write_header(os, "gradient_boosting");
+  os << "config " << config_.n_estimators << ' ';
+  io::write_double(os, config_.learning_rate);
+  os << ' ' << config_.seed << '\n';
+  write_tree_config(os, config_.tree);
+  os << "base ";
+  io::write_double(os, base_prediction_);
+  os << "\ntrees " << trees_.size() << '\n';
+  for (const auto& tree : trees_) tree.save(os);
+  os << "end\n";
+}
+
+std::unique_ptr<GradientBoostingRegressor> GradientBoostingRegressor::load_body(
+    std::istream& is) {
+  io::expect_token(is, "config");
+  BoostingConfig config;
+  config.n_estimators = static_cast<std::size_t>(io::read_size(is));
+  config.learning_rate = io::read_double(is);
+  config.seed = io::read_size(is, ~std::uint64_t{0});
+  config.tree = read_tree_config(is);
+  auto model = std::make_unique<GradientBoostingRegressor>(config);
+  io::expect_token(is, "base");
+  model->base_prediction_ = io::read_double(is);
+  io::expect_token(is, "trees");
+  const auto count = static_cast<std::size_t>(io::read_size(is));
+  if (count == 0) {
+    throw std::runtime_error("load_model: gradient_boosting with no trees");
+  }
+  model->trees_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    model->trees_.push_back(load_nested_tree(is));
+  }
+  io::expect_token(is, "end");
+  model->fitted_ = true;
+  return model;
+}
+
 Vector GradientBoostingRegressor::predict(const Matrix& x) const {
   if (!fitted_) throw std::logic_error("gbr: not fitted");
+  // fitted_ implies >= 1 trees: the constructor requires n_estimators >= 1
+  // and load_body rejects zero-tree files.
+  check_predict_args(name(), trees_.front().num_features(), x);
   Vector out(x.rows(), base_prediction_);
   for (const auto& tree : trees_) {
     const Vector step = tree.predict(x);

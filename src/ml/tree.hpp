@@ -36,8 +36,14 @@ class DecisionTreeRegressor final : public Regressor {
   void set_params(const ParamMap& params) override;
   [[nodiscard]] ParamMap get_params() const override;
 
+  void save(std::ostream& os) const override;
+  /// Reads the body written by save() (header already consumed).
+  [[nodiscard]] static std::unique_ptr<DecisionTreeRegressor> load_body(
+      std::istream& is);
+
   [[nodiscard]] std::size_t num_nodes() const noexcept { return nodes_.size(); }
   [[nodiscard]] std::size_t depth() const noexcept { return depth_; }
+  [[nodiscard]] std::size_t num_features() const noexcept { return n_features_; }
 
   /// Fit against sample weights implied by an index multiset (bootstrap).
   void fit_on_indices(const Matrix& x, std::span<const double> y,
@@ -88,6 +94,11 @@ class RandomForestRegressor final : public Regressor {
   void set_params(const ParamMap& params) override;
   [[nodiscard]] ParamMap get_params() const override;
 
+  void save(std::ostream& os) const override;
+  /// Reads the body written by save() (header already consumed).
+  [[nodiscard]] static std::unique_ptr<RandomForestRegressor> load_body(
+      std::istream& is);
+
  private:
   ForestConfig config_;
   std::vector<DecisionTreeRegressor> trees_;
@@ -115,6 +126,11 @@ class GradientBoostingRegressor final : public Regressor {
   /// Parameters: "n_estimators", "learning_rate", "max_depth".
   void set_params(const ParamMap& params) override;
   [[nodiscard]] ParamMap get_params() const override;
+
+  void save(std::ostream& os) const override;
+  /// Reads the body written by save() (header already consumed).
+  [[nodiscard]] static std::unique_ptr<GradientBoostingRegressor> load_body(
+      std::istream& is);
 
  private:
   BoostingConfig config_;

@@ -1,0 +1,244 @@
+// Model persistence: save -> load -> predict bit-identity across every zoo
+// model on random feature matrices, plus strict rejection of corrupt,
+// truncated and wrong-version model files.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "ml/knn.hpp"
+#include "ml/linear.hpp"
+#include "ml/model_zoo.hpp"
+#include "ml/pipeline.hpp"
+#include "ml/serialize.hpp"
+#include "ml/svr.hpp"
+#include "ml/tree.hpp"
+#include "util/rng.hpp"
+
+namespace ffr::ml {
+namespace {
+
+struct Problem {
+  Matrix x;
+  Vector y;
+};
+
+// Random features on wildly different scales (like the real feature set)
+// and targets in [0, 1] (like FDR values).
+Problem make_problem(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Problem p;
+  p.x = Matrix(rows, cols);
+  p.y.resize(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double scale = c % 3 == 0 ? 1000.0 : (c % 3 == 1 ? 1.0 : 0.01);
+      p.x(r, c) = scale * rng.uniform(-2, 2);
+    }
+    p.y[r] = 0.5 + 0.5 * std::sin(p.x(r, 0) * 0.001 + p.x(r, cols - 1));
+  }
+  return p;
+}
+
+std::string save_to_string(const Regressor& model) {
+  std::ostringstream os;
+  model.save(os);
+  return os.str();
+}
+
+std::unique_ptr<Regressor> round_trip(const Regressor& model) {
+  std::istringstream is(save_to_string(model));
+  return load_model(is);
+}
+
+TEST(Serialize, RoundTripIsBitIdenticalForEveryZooModel) {
+  const Problem train = make_problem(48, 6, 0xA1);
+  const Problem query = make_problem(17, 6, 0xB2);
+  for (const std::string_view name : model_zoo_names()) {
+    auto model = make_model(name);
+    model->fit(train.x, train.y);
+    const auto reloaded = round_trip(*model);
+    EXPECT_EQ(reloaded->name(), model->name()) << name;
+    EXPECT_TRUE(reloaded->is_fitted()) << name;
+    const Vector expected = model->predict(query.x);
+    const Vector actual = reloaded->predict(query.x);
+    ASSERT_EQ(actual.size(), expected.size()) << name;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      // Exact comparison on purpose: the format must round-trip binary64.
+      EXPECT_EQ(actual[i], expected[i]) << name << " row " << i;
+    }
+  }
+}
+
+TEST(Serialize, RoundTripPreservesHyperparameters) {
+  const Problem train = make_problem(30, 4, 0xC3);
+  auto model = make_model("knn_paper");
+  model->fit(train.x, train.y);
+  const auto reloaded = round_trip(*model);
+  EXPECT_EQ(reloaded->get_params(), model->get_params());
+}
+
+TEST(Serialize, FileRoundTripMatchesStreamRoundTrip) {
+  const Problem train = make_problem(30, 5, 0xD4);
+  const Problem query = make_problem(9, 5, 0xE5);
+  auto model = make_model("random_forest");
+  model->fit(train.x, train.y);
+  const auto path =
+      std::filesystem::temp_directory_path() / "ffr_test_model_roundtrip.txt";
+  save_model_file(path, *model);
+  const auto reloaded = load_model_file(path);
+  std::filesystem::remove(path);
+  const Vector expected = model->predict(query.x);
+  const Vector actual = reloaded->predict(query.x);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual[i], expected[i]);
+  }
+}
+
+TEST(Serialize, SavingAnUnfittedModelThrows) {
+  for (const std::string_view name : model_zoo_names()) {
+    const auto model = make_model(name);
+    std::ostringstream os;
+    EXPECT_THROW(model->save(os), std::logic_error) << name;
+  }
+}
+
+TEST(Serialize, RejectsBadMagic) {
+  std::istringstream is("not-a-model 1 knn");
+  EXPECT_THROW(
+      {
+        try {
+          (void)load_model(is);
+        } catch (const std::runtime_error& e) {
+          EXPECT_NE(std::string(e.what()).find("bad magic"), std::string::npos);
+          throw;
+        }
+      },
+      std::runtime_error);
+}
+
+TEST(Serialize, RejectsWrongVersion) {
+  std::istringstream is("ffr-model 999 knn");
+  EXPECT_THROW(
+      {
+        try {
+          (void)load_model(is);
+        } catch (const std::runtime_error& e) {
+          EXPECT_NE(std::string(e.what()).find("version 999"), std::string::npos);
+          throw;
+        }
+      },
+      std::runtime_error);
+}
+
+TEST(Serialize, RejectsUnknownTag) {
+  std::istringstream is("ffr-model 1 neural_net");
+  EXPECT_THROW(
+      {
+        try {
+          (void)load_model(is);
+        } catch (const std::runtime_error& e) {
+          EXPECT_NE(std::string(e.what()).find("neural_net"), std::string::npos);
+          throw;
+        }
+      },
+      std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncatedFilesAtEveryPrefixLength) {
+  const Problem train = make_problem(20, 3, 0xF6);
+  for (const std::string_view name :
+       {std::string_view("linear"), std::string_view("knn_paper"),
+        std::string_view("decision_tree"), std::string_view("gradient_boosting")}) {
+    auto model = make_model(name);
+    model->fit(train.x, train.y);
+    const std::string full = save_to_string(*model);
+    // Cut at several points, including just before the final "end".
+    for (const double fraction : {0.1, 0.5, 0.9}) {
+      const auto cut = static_cast<std::size_t>(
+          fraction * static_cast<double>(full.size()));
+      std::istringstream is(full.substr(0, cut));
+      EXPECT_THROW((void)load_model(is), std::runtime_error)
+          << name << " cut at " << cut << "/" << full.size();
+    }
+    std::istringstream is(full.substr(0, full.size() - 4));
+    EXPECT_THROW((void)load_model(is), std::runtime_error) << name;
+  }
+}
+
+TEST(Serialize, RejectsCorruptNumbersAndCounts) {
+  const Problem train = make_problem(20, 3, 0x17);
+  auto model = make_model("linear");
+  model->fit(train.x, train.y);
+  std::string text = save_to_string(*model);
+
+  // A non-numeric token where a double is expected.
+  std::string corrupt = text;
+  corrupt.replace(corrupt.find("intercept") + 10, 3, "abc");
+  std::istringstream bad_number(corrupt);
+  EXPECT_THROW((void)load_model(bad_number), std::runtime_error);
+
+  // An absurd element count (exceeds the sanity limit).
+  corrupt = text;
+  const auto coef_pos = corrupt.find("coef ");
+  corrupt.replace(coef_pos, 7, "coef 99999999999999");
+  std::istringstream bad_count(corrupt);
+  EXPECT_THROW((void)load_model(bad_count), std::runtime_error);
+
+  // A wrong field name.
+  corrupt = text;
+  corrupt.replace(corrupt.find("coef"), 4, "cofe");
+  std::istringstream bad_key(corrupt);
+  EXPECT_THROW((void)load_model(bad_key), std::runtime_error);
+}
+
+TEST(Serialize, RejectsOutOfRangeTreeChildren) {
+  const Problem train = make_problem(40, 3, 0x28);
+  DecisionTreeRegressor tree;
+  tree.fit(train.x, train.y);
+  std::string text = save_to_string(tree);
+  // Corrupt the first split node's left-child index to a cycle (0 -> itself).
+  const auto nodes_pos = text.find("nodes ");
+  ASSERT_NE(nodes_pos, std::string::npos);
+  // The first node line follows the "nodes <count>\n" line; a split node's
+  // fields are "<feature> <threshold> <left> <right> <value>".
+  std::istringstream probe(text.substr(nodes_pos));
+  std::string tok;
+  probe >> tok;  // "nodes"
+  std::size_t count = 0;
+  probe >> count;
+  ASSERT_GT(count, 1u);  // the problem is non-trivial, the root must split
+  std::uint32_t feature = 0;
+  double threshold = 0.0;
+  std::uint32_t left = 0;
+  probe >> feature >> threshold >> left;
+  ASSERT_NE(feature, ~std::uint32_t{0});
+  const std::string needle = " " + std::to_string(left) + " ";
+  const auto left_pos = text.find(needle, nodes_pos);
+  ASSERT_NE(left_pos, std::string::npos);
+  text.replace(left_pos, needle.size(), " 0 ");
+  std::istringstream is(text);
+  EXPECT_THROW((void)load_model(is), std::runtime_error);
+}
+
+TEST(Serialize, LoadedModelKeepsServingAfterFurtherStreamData) {
+  // Two models back to back in one stream (the ensemble/nested case).
+  const Problem train = make_problem(25, 4, 0x39);
+  auto first = make_model("linear");
+  auto second = make_model("ridge");
+  first->fit(train.x, train.y);
+  second->fit(train.x, train.y);
+  std::ostringstream os;
+  first->save(os);
+  second->save(os);
+  std::istringstream is(os.str());
+  const auto a = load_model(is);
+  const auto b = load_model(is);
+  EXPECT_EQ(a->name(), "linear_least_squares");
+  EXPECT_EQ(b->name(), "scaled_ridge");
+}
+
+}  // namespace
+}  // namespace ffr::ml
