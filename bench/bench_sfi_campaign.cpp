@@ -5,9 +5,12 @@
 // benchmarks the CampaignEngine replay modes (full / checkpoint /
 // incremental) against the flat campaign on the paper-scale relay circuit
 // (≥947 FFs), reports the simulated-cycle and op-evaluation savings, sweeps
-// the thread / batch-size scheduling knobs and emits every measurement as
+// the SIMD lane-block width (64 / 256 / 512 fault lanes per pass) and the
+// thread / batch-size scheduling knobs, and emits every measurement as
 // machine-readable JSON (BENCH_sfi_campaign.json) so the perf trajectory is
-// tracked across PRs.
+// tracked across PRs. The replay-mode and scheduling rows are pinned to the
+// 64-lane scalar path so they stay comparable with earlier PRs; the width
+// sweep reports the SIMD speedup on top of the incremental baseline.
 //
 // Environment knobs (besides bench_common's):
 //   FFR_SWEEP_INJECTIONS  injections per FF for the scheduling sweep
@@ -56,16 +59,17 @@ void write_bench_json(const char* path, const std::vector<BenchRecord>& records)
         "\"batch\": %zu, \"checkpoint_interval\": %zu, "
         "\"injections_per_ff\": %zu, \"injections\": %llu, \"passes\": %llu, "
         "\"cycles_simulated\": %llu, \"ops_evaluated\": %llu, "
-        "\"checkpoint_restores\": %llu, \"wall_seconds\": %.6f, "
-        "\"mean_fdr\": %.9f}%s\n",
+        "\"checkpoint_restores\": %llu, \"lane_width\": %zu, "
+        "\"wall_seconds\": %.6f, \"mean_fdr\": %.9f}%s\n",
         r.circuit.c_str(), r.mode.c_str(), r.threads, r.batch,
         r.checkpoint_interval, r.injections_per_ff,
         static_cast<unsigned long long>(c.total_injections),
         static_cast<unsigned long long>(c.total_sim_passes),
         static_cast<unsigned long long>(c.cycles_simulated),
         static_cast<unsigned long long>(c.ops_evaluated),
-        static_cast<unsigned long long>(c.checkpoint_restores), c.wall_seconds,
-        c.mean_fdr(), i + 1 < records.size() ? "," : "");
+        static_cast<unsigned long long>(c.checkpoint_restores),
+        c.lanes_per_pass, c.wall_seconds, c.mean_fdr(),
+        i + 1 < records.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
   std::fclose(f);
@@ -172,6 +176,10 @@ int main() {
   std::vector<BenchRecord> records;
   fault::CampaignConfig full;
   full.injections_per_ff = ctx.injections_per_ff;
+  // The replay-mode comparison is pinned to the scalar 64-lane path so its
+  // rows stay comparable with the pre-SIMD baselines; the lane-width sweep
+  // below measures the SIMD win separately.
+  full.lane_width = sim::LaneWidth::k64;
   const fault::CampaignResult flat =
       fault::run_campaign(relay.netlist, relay_tb.tb, engine.golden(), full);
   records.push_back({"relay_core", "flat", full.num_threads, 0, 0,
@@ -240,6 +248,55 @@ int main() {
               static_cast<unsigned long long>(incremental.ops_evaluated),
               static_cast<unsigned long long>(incremental.checkpoint_restores));
 
+  // ---- SIMD lane-width sweep: 64 / 256 / 512 fault lanes per pass -------------
+
+  std::printf("\nSIMD lane-width sweep (%zu injections/FF, incremental "
+              "replay; native width: %s lanes — results are bit-identical "
+              "at every width):\n",
+              full.injections_per_ff, sim::to_string(sim::native_lane_width()));
+  util::TablePrinter width_table({"lanes/pass", "sim passes", "cycles[M]",
+                                  "ops[G]", "wall[s]", "vs 64-lane"});
+  const auto add_width_row = [&](const fault::CampaignResult& result) {
+    width_table.add_row(
+        {std::to_string(result.lanes_per_pass),
+         std::to_string(result.total_sim_passes),
+         util::TablePrinter::format(
+             static_cast<double>(result.cycles_simulated) * 1e-6, 2),
+         util::TablePrinter::format(
+             static_cast<double>(result.ops_evaluated) * 1e-9, 2),
+         util::TablePrinter::format(result.wall_seconds, 2),
+         util::TablePrinter::format(
+             incremental.wall_seconds / result.wall_seconds, 2) +
+             "x"});
+  };
+  // The pinned incremental headline run IS the 64-lane row.
+  add_width_row(incremental);
+  double best_wide_speedup = 0.0;
+  for (const sim::LaneWidth width :
+       {sim::LaneWidth::k256, sim::LaneWidth::k512}) {
+    fault::CampaignConfig config = full;
+    config.lane_width = width;
+    const fault::CampaignResult result = engine.run(config);
+    add_width_row(result);
+    for (const std::string& warning : result.warnings) {
+      std::printf("# %s\n", warning.c_str());
+    }
+    records.push_back({"relay_core", fault::to_string(config.replay_mode),
+                       config.num_threads, config.batch_size,
+                       config.checkpoint_interval, config.injections_per_ff,
+                       result});
+    if (flat.fdr_vector() != result.fdr_vector()) {
+      std::printf("# WIDTH %s DIVERGED FROM FLAT REFERENCE (BUG)\n",
+                  sim::to_string(width));
+    }
+    best_wide_speedup = std::max(
+        best_wide_speedup, incremental.wall_seconds / result.wall_seconds);
+  }
+  width_table.print();
+  std::printf("SIMD lane blocks: best wide width = %.2fx wall over the "
+              "64-lane incremental baseline\n",
+              best_wide_speedup);
+
   // ---- scheduling sweep: threads x batch size ----------------------------------
 
   std::size_t sweep_injections = 34;
@@ -253,6 +310,7 @@ int main() {
               sweep_injections, hardware);
   fault::CampaignConfig sweep;
   sweep.injections_per_ff = sweep_injections;
+  sweep.lane_width = sim::LaneWidth::k64;  // scheduling rows stay PR-comparable
   std::vector<std::size_t> thread_counts = {1};
   if (hardware >= 2) thread_counts.push_back(2);
   if (hardware > 2) thread_counts.push_back(hardware);

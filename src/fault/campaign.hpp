@@ -22,6 +22,7 @@
 
 #include "fault/classification.hpp"
 #include "netlist/netlist.hpp"
+#include "sim/lane_block.hpp"
 #include "sim/runner.hpp"
 
 namespace ffr::fault {
@@ -72,6 +73,14 @@ struct CampaignConfig {
   /// than the testbench with std::invalid_argument. Pure cost knob: results
   /// are bit-identical for every valid value. Ignored by run_campaign().
   std::size_t checkpoint_interval = 16;
+  /// SIMD lane-block width of each batched-engine pass: kAuto picks the
+  /// widest block the host CPU natively supports (CPUID-dispatched), k64 is
+  /// the scalar reference width, k256/k512 request LaneBlock<4>/<8> passes.
+  /// A request wider than the host supports falls back to the native width
+  /// with a warning recorded in CampaignResult::warnings — never an error.
+  /// Pure cost knob: results are bit-identical at every width. Ignored by
+  /// the flat run_campaign() (always 64 lanes — the differential reference).
+  sim::LaneWidth lane_width = sim::LaneWidth::kAuto;
   /// Restrict the campaign to these flip-flop indices (positions within
   /// Netlist::flip_flops()). Empty = all flip-flops.
   std::vector<std::size_t> ff_subset;
@@ -98,7 +107,18 @@ struct FfResult {
 struct CampaignResult {
   std::vector<FfResult> per_ff;        ///< One entry per targeted flip-flop.
   std::uint64_t total_injections = 0;  ///< Upsets injected overall.
-  std::uint64_t total_sim_passes = 0;  ///< 64-lane simulator passes used.
+  /// Simulator passes used; each pass carries `lanes_per_pass` fault lanes,
+  /// so a campaign costs ceil(total_injections / lanes_per_pass) passes in
+  /// the batched engine.
+  std::uint64_t total_sim_passes = 0;
+  /// Fault lanes per simulator pass: 64 on the scalar path, 256/512 when
+  /// the engine ran SIMD lane blocks (the resolved CampaignConfig
+  /// lane_width, after any fallback).
+  std::size_t lanes_per_pass = sim::kNumLanes;
+  /// Non-fatal configuration diagnostics, e.g. a lane_width request wider
+  /// than the host supports that fell back to the native width. Not
+  /// persisted by save_csv().
+  std::vector<std::string> warnings;
   /// Clock cycles actually advanced across all passes — with checkpointed
   /// replay this is the post-restore suffix only, so it measures the
   /// incremental-replay saving against passes * testbench_length.

@@ -1,9 +1,12 @@
 #include "fault/engine.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <span>
 #include <stdexcept>
 #include <string>
 
+#include "sim/wide_runner.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 
@@ -21,6 +24,73 @@ void validate_checkpoint_interval(std::size_t interval, std::size_t num_cycles) 
         "CampaignEngine: checkpoint_interval (" + std::to_string(interval) +
         ") exceeds the " + std::to_string(num_cycles) + "-cycle testbench");
   }
+}
+
+/// One injection of the flat campaign-wide job list; job j is lane
+/// j % block_lanes of pass j / block_lanes.
+struct Job {
+  std::uint32_t task;
+  std::uint32_t cycle;
+};
+
+struct WorkerCost {
+  std::uint64_t cycles = 0;
+  std::uint64_t ops = 0;
+  std::uint64_t restores = 0;
+};
+
+/// SIMD lane-block pass executor: slices the job list into W * 64-lane
+/// blocks and replays each block on a per-worker WideReplayRunner<W>. The
+/// per-job outcomes are written disjointly, exactly like the scalar path —
+/// science output can never depend on scheduling or block width.
+template <std::size_t W>
+void run_wide_passes(const sim::CompiledStimulus& stimulus,
+                     std::span<const netlist::CellId> ffs,
+                     const std::vector<std::size_t>& subset,
+                     const std::vector<Job>& jobs,
+                     const sim::FrameList& golden_frames,
+                     const sim::GoldenCheckpoints* ckpts,
+                     const CampaignConfig& config,
+                     util::ThreadPool& pool,
+                     std::vector<FailureClass>& outcome,
+                     std::vector<WorkerCost>& costs) {
+  constexpr std::size_t kBlockLanes = sim::LaneBlock<W>::kLanes;
+  const std::size_t num_passes = (jobs.size() + kBlockLanes - 1) / kBlockLanes;
+  std::vector<std::unique_ptr<sim::WideReplayRunner<W>>> runners(pool.size());
+  pool.parallel_for_chunked(
+      num_passes, config.batch_size,
+      [&](std::size_t pass_begin, std::size_t pass_end, std::size_t worker) {
+        if (!runners[worker]) {
+          runners[worker] = std::make_unique<sim::WideReplayRunner<W>>(stimulus);
+        }
+        sim::WideReplayRunner<W>& runner = *runners[worker];
+        sim::WideRunOptions options;
+        options.resume = ckpts;
+        options.incremental_eval =
+            config.replay_mode == ReplayMode::kIncremental;
+        std::vector<sim::LaneInjection> events;
+        events.reserve(kBlockLanes);
+        for (std::size_t pass = pass_begin; pass < pass_end; ++pass) {
+          const std::size_t job_begin = pass * kBlockLanes;
+          const std::size_t job_end =
+              std::min(jobs.size(), job_begin + kBlockLanes);
+          events.clear();
+          for (std::size_t j = job_begin; j < job_end; ++j) {
+            sim::LaneInjection ev;
+            ev.ff_cell = ffs[subset[jobs[j].task]];
+            ev.cycle = jobs[j].cycle;
+            ev.lane = static_cast<std::uint32_t>(j - job_begin);
+            events.push_back(ev);
+          }
+          const sim::RunResult run = runner.run(events, options);
+          for (std::size_t j = job_begin; j < job_end; ++j) {
+            outcome[j] = classify(golden_frames, run.lane_frames[j - job_begin]);
+          }
+          costs[worker].cycles += run.cycles_simulated;
+          costs[worker].ops += run.ops_evaluated;
+          if (run.start_cycle > 0) ++costs[worker].restores;
+        }
+      });
 }
 
 }  // namespace
@@ -81,18 +151,21 @@ CampaignResult CampaignEngine::run(const CampaignConfig& config) const {
   const auto ffs = nl_->flip_flops();
   const std::vector<std::size_t> subset = resolve_ff_subset(config, ffs.size());
 
+  // Resolve the SIMD block width up front: kAuto picks the host's native
+  // width, explicit requests wider than the host falls back with a warning.
+  const sim::ResolvedLaneWidth resolved = sim::resolve_lane_width(config.lane_width);
+  const std::size_t block_lanes = sim::lanes_of(resolved.width);
+
   util::Stopwatch stopwatch;
   CampaignResult result;
   result.per_ff.resize(subset.size());
+  result.lanes_per_pass = block_lanes;
+  if (!resolved.warning.empty()) result.warnings.push_back(resolved.warning);
 
   // Flat job list in deterministic (task-major, schedule-order) order: job j
-  // is one injection. Slicing it into 64-lane passes packs lanes across
-  // flip-flop boundaries, which is where the pass saving over the flat
-  // campaign comes from.
-  struct Job {
-    std::uint32_t task;
-    std::uint32_t cycle;
-  };
+  // is one injection. Slicing it into block_lanes-lane passes packs lanes
+  // across flip-flop boundaries, which is where the pass saving over the
+  // flat campaign comes from.
   std::vector<Job> jobs;
   jobs.reserve(subset.size() * config.injections_per_ff);
   for (std::size_t task = 0; task < subset.size(); ++task) {
@@ -109,7 +182,7 @@ CampaignResult CampaignEngine::run(const CampaignConfig& config) const {
 
   // Checkpointed replay starts each pass at the latest checkpoint before its
   // EARLIEST injection, so the saving is governed by the slowest lane:
-  // sorting jobs by injection cycle makes the 64 lanes of one pass share a
+  // sorting jobs by injection cycle makes the lanes of one pass share a
   // late start. The stable sort keeps job order deterministic; per-job
   // outcomes are lane-independent, so sorting can never change the science.
   const bool checkpointed = config.replay_mode != ReplayMode::kFull;
@@ -120,55 +193,59 @@ CampaignResult CampaignEngine::run(const CampaignConfig& config) const {
   const std::shared_ptr<const sim::GoldenCheckpoints> ckpts =
       checkpointed ? checkpoints(config.checkpoint_interval) : nullptr;
 
-  const std::size_t num_passes =
-      (jobs.size() + sim::kNumLanes - 1) / sim::kNumLanes;
+  const std::size_t num_passes = (jobs.size() + block_lanes - 1) / block_lanes;
   // Per-job outcome, written disjointly by the workers and reduced serially
   // afterwards — science output can never depend on scheduling.
   std::vector<FailureClass> outcome(jobs.size(), FailureClass::kOk);
 
   util::ThreadPool pool(config.num_threads);
-  std::vector<std::unique_ptr<sim::ReplayRunner>> runners(pool.size());
-  struct WorkerCost {
-    std::uint64_t cycles = 0;
-    std::uint64_t ops = 0;
-    std::uint64_t restores = 0;
-  };
   std::vector<WorkerCost> costs(pool.size());
-  pool.parallel_for_chunked(
-      num_passes, config.batch_size,
-      [&](std::size_t pass_begin, std::size_t pass_end, std::size_t worker) {
-        if (!runners[worker]) {
-          runners[worker] = std::make_unique<sim::ReplayRunner>(stimulus_);
-        }
-        sim::ReplayRunner& runner = *runners[worker];
-        sim::RunOptions options;
-        options.resume = ckpts.get();
-        options.incremental_eval =
-            config.replay_mode == ReplayMode::kIncremental;
-        std::vector<sim::InjectionEvent> events;
-        events.reserve(sim::kNumLanes);
-        for (std::size_t pass = pass_begin; pass < pass_end; ++pass) {
-          const std::size_t job_begin = pass * sim::kNumLanes;
-          const std::size_t job_end =
-              std::min(jobs.size(), job_begin + sim::kNumLanes);
-          events.clear();
-          for (std::size_t j = job_begin; j < job_end; ++j) {
-            sim::InjectionEvent ev;
-            ev.ff_cell = ffs[subset[jobs[j].task]];
-            ev.cycle = jobs[j].cycle;
-            ev.lane_mask = sim::Lanes{1} << (j - job_begin);
-            events.push_back(ev);
+  if (resolved.width == sim::LaneWidth::k256) {
+    run_wide_passes<4>(stimulus_, ffs, subset, jobs, golden_.frames,
+                       ckpts.get(), config, pool, outcome, costs);
+  } else if (resolved.width == sim::LaneWidth::k512) {
+    run_wide_passes<8>(stimulus_, ffs, subset, jobs, golden_.frames,
+                       ckpts.get(), config, pool, outcome, costs);
+  } else {
+    // Scalar 64-lane path — byte-for-byte the pre-SIMD engine behaviour and
+    // the reference every wider block width is differentially tested against.
+    std::vector<std::unique_ptr<sim::ReplayRunner>> runners(pool.size());
+    pool.parallel_for_chunked(
+        num_passes, config.batch_size,
+        [&](std::size_t pass_begin, std::size_t pass_end, std::size_t worker) {
+          if (!runners[worker]) {
+            runners[worker] = std::make_unique<sim::ReplayRunner>(stimulus_);
           }
-          const sim::RunResult run = runner.run(events, options);
-          for (std::size_t j = job_begin; j < job_end; ++j) {
-            outcome[j] =
-                classify(golden_.frames, run.lane_frames[j - job_begin]);
+          sim::ReplayRunner& runner = *runners[worker];
+          sim::RunOptions options;
+          options.resume = ckpts.get();
+          options.incremental_eval =
+              config.replay_mode == ReplayMode::kIncremental;
+          std::vector<sim::InjectionEvent> events;
+          events.reserve(sim::kNumLanes);
+          for (std::size_t pass = pass_begin; pass < pass_end; ++pass) {
+            const std::size_t job_begin = pass * sim::kNumLanes;
+            const std::size_t job_end =
+                std::min(jobs.size(), job_begin + sim::kNumLanes);
+            events.clear();
+            for (std::size_t j = job_begin; j < job_end; ++j) {
+              sim::InjectionEvent ev;
+              ev.ff_cell = ffs[subset[jobs[j].task]];
+              ev.cycle = jobs[j].cycle;
+              ev.lane_mask = sim::Lanes{1} << (j - job_begin);
+              events.push_back(ev);
+            }
+            const sim::RunResult run = runner.run(events, options);
+            for (std::size_t j = job_begin; j < job_end; ++j) {
+              outcome[j] =
+                  classify(golden_.frames, run.lane_frames[j - job_begin]);
+            }
+            costs[worker].cycles += run.cycles_simulated;
+            costs[worker].ops += run.ops_evaluated;
+            if (run.start_cycle > 0) ++costs[worker].restores;
           }
-          costs[worker].cycles += run.cycles_simulated;
-          costs[worker].ops += run.ops_evaluated;
-          if (run.start_cycle > 0) ++costs[worker].restores;
-        }
-      });
+        });
+  }
 
   for (std::size_t j = 0; j < jobs.size(); ++j) {
     result.per_ff[jobs[j].task].classes.add(outcome[j]);

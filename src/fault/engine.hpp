@@ -10,21 +10,24 @@
 /// per worker thread so the levelized evaluation order is built once per
 /// worker instead of once per pass. run() packs injection windows across
 /// flip-flops: the whole campaign's injections form one flat job list sliced
-/// into 64-lane passes, costing ceil(total_injections / 64) passes instead
-/// of the flat campaign's sum over flip-flops of
-/// ceil(injections_per_ff / 64). Under the checkpointed replay modes the
-/// job list is additionally sorted by injection cycle, so the 64 lanes of
-/// one pass share a late start point: each pass restores the latest golden
-/// checkpoint at or before its earliest injection and fast-forwards from
-/// there, and (in kIncremental mode) evaluates only the dirty cone per
-/// cycle. Passes are distributed over a work-stealing pool in chunks of
-/// CampaignConfig::batch_size.
+/// into lane-block passes of CampaignConfig::lane_width fault lanes each
+/// (64 on the scalar path, 256/512 on the SIMD WideReplayRunner paths —
+/// kAuto picks the widest block the host CPU supports via CPUID), costing
+/// ceil(total_injections / block_lanes) passes instead of the flat
+/// campaign's sum over flip-flops of ceil(injections_per_ff / 64). Under
+/// the checkpointed replay modes the job list is additionally sorted by
+/// injection cycle, so the lanes of one pass share a late start point: each
+/// pass restores the latest golden checkpoint at or before its earliest
+/// injection (wide passes splat the broadcast golden words across whole
+/// blocks) and fast-forwards from there, and (in kIncremental mode)
+/// evaluates only the dirty cone per cycle. Passes are distributed over a
+/// work-stealing pool in chunks of CampaignConfig::batch_size.
 ///
 /// Guarantee: for the same CampaignConfig seed/injection knobs, run() is
 /// bit-identical to run_campaign() — same per-flip-flop class counts and
-/// FDR vector — for every thread count, batch size, replay mode and
-/// checkpoint interval (see tests/test_campaign_engine.cpp and
-/// tests/test_incremental_replay.cpp).
+/// FDR vector — for every thread count, batch size, replay mode, checkpoint
+/// interval and lane width (see tests/test_campaign_engine.cpp,
+/// tests/test_incremental_replay.cpp and tests/test_lane_width.cpp).
 
 #include <map>
 #include <memory>

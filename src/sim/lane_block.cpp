@@ -1,0 +1,46 @@
+#include "sim/lane_block.hpp"
+
+#include <atomic>
+
+namespace ffr::sim {
+
+namespace {
+
+[[nodiscard]] LaneWidth detect_native_lane_width() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx512f")) return LaneWidth::k512;
+  if (__builtin_cpu_supports("avx2")) return LaneWidth::k256;
+#endif
+  return LaneWidth::k64;
+}
+
+/// Testing override; kAuto means "no override, use real detection".
+std::atomic<LaneWidth> g_forced_width{LaneWidth::kAuto};
+
+}  // namespace
+
+LaneWidth native_lane_width() noexcept {
+  const LaneWidth forced = g_forced_width.load(std::memory_order_relaxed);
+  if (forced != LaneWidth::kAuto) return forced;
+  static const LaneWidth detected = detect_native_lane_width();
+  return detected;
+}
+
+void force_native_lane_width_for_testing(LaneWidth width) noexcept {
+  g_forced_width.store(width, std::memory_order_relaxed);
+}
+
+ResolvedLaneWidth resolve_lane_width(LaneWidth requested) {
+  const LaneWidth native = native_lane_width();
+  if (requested == LaneWidth::kAuto) return {native, {}};
+  if (lanes_of(requested) <= lanes_of(native)) return {requested, {}};
+  ResolvedLaneWidth resolved;
+  resolved.width = native;
+  resolved.warning = std::string("lane_width ") + to_string(requested) +
+                     " exceeds the host's native SIMD width; falling back to " +
+                     to_string(native) + " lanes per pass";
+  return resolved;
+}
+
+}  // namespace ffr::sim

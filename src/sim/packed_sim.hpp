@@ -11,6 +11,11 @@
 /// actually changed since the last sweep (classic event-driven / dirty-set
 /// evaluation) — after a fault injection most cycles touch only the small
 /// divergence cone. Both produce bit-identical net values.
+///
+/// This scalar 64-lane simulator is deliberately kept untouched as the
+/// differential reference for the SIMD lane-block generalization
+/// (WideSimulator<W> in wide_sim.hpp, 256/512 lanes per pass): every wider
+/// path must match it bit-for-bit on every circuit and replay mode.
 
 #include <cstdint>
 #include <span>

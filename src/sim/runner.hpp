@@ -37,7 +37,10 @@ struct ActivityTrace {
 /// simulation at the top of cycle C: flip-flop state, pending loopback
 /// values and the packet monitor's progress (frames completed before C plus
 /// the bytes of the frame in flight). Golden words are broadcast (all 64
-/// lanes identical), so one snapshot seeds every lane of a resumed pass.
+/// lanes identical), so one snapshot seeds every lane of a resumed pass —
+/// including the W * 64 lanes of a SIMD lane-block pass, whose
+/// WideReplayRunner (wide_runner.hpp) restores whole blocks by splatting
+/// each broadcast word across its W words.
 struct GoldenCheckpoints {
   struct Snapshot {
     std::size_t cycle = 0;                 ///< Resume point.

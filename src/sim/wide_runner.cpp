@@ -1,0 +1,213 @@
+#include "sim/wide_runner.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace ffr::sim {
+
+namespace {
+
+/// Incremental per-lane frame extraction over a lane block: the W-word
+/// generalization of runner.cpp's PacketMonitor (which stays scalar and
+/// untouched as the reference). Lane L of word w is global lane w * 64 + L.
+template <std::size_t W>
+class WidePacketMonitor {
+ public:
+  using Block = LaneBlock<W>;
+
+  explicit WidePacketMonitor(const PacketMonitorSpec& spec) : spec_(&spec) {
+    if (spec.valid == netlist::kNoNet || spec.data.empty()) {
+      throw std::invalid_argument("WidePacketMonitor: incomplete monitor spec");
+    }
+    lanes_.resize(Block::kLanes);
+  }
+
+  /// Seeds every lane with the golden progress at a checkpoint (the golden
+  /// prefix is identical on all lanes, so one snapshot seeds the block).
+  void seed(const FrameList& frames, const std::vector<std::uint8_t>& open_bytes,
+            bool frame_open) {
+    for (LaneState& state : lanes_) {
+      state.frames = frames;
+      state.current = Frame{};
+      state.current.bytes = open_bytes;
+      state.open = frame_open;
+    }
+  }
+
+  void observe(const WideSimulator<W>& simulator, std::size_t cycle) {
+    const Block& valid = simulator.value(spec_->valid);
+    if (!any(valid)) return;
+    const Block& sop = simulator.value(spec_->sop);
+    const Block& eop = simulator.value(spec_->eop);
+    const Block& err = simulator.value(spec_->err);
+    const std::size_t width = std::min<std::size_t>(spec_->data.size(), 8);
+    const Block* data_bits[8] = {};
+    for (std::size_t b = 0; b < width; ++b) {
+      data_bits[b] = &simulator.value(spec_->data[b]);
+    }
+    for (std::size_t w = 0; w < W; ++w) {
+      std::uint64_t remaining = valid.word(w);
+      while (remaining != 0) {
+        const int lane = std::countr_zero(remaining);
+        remaining &= remaining - 1;
+        LaneState& state = lanes_[w * 64 + static_cast<std::size_t>(lane)];
+        const std::uint64_t bit = std::uint64_t{1} << lane;
+        if (eop.word(w) & bit) {
+          // End marker: close the open frame (or record a headless end).
+          state.current.err = (err.word(w) & bit) != 0;
+          state.current.end_cycle = cycle;
+          state.frames.push_back(std::move(state.current));
+          state.current = Frame{};
+          state.open = false;
+          continue;
+        }
+        if (sop.word(w) & bit) {
+          if (state.open) {
+            // Truncated previous frame (no end marker): emit as errored.
+            state.current.err = true;
+            state.current.end_cycle = cycle;
+            state.frames.push_back(std::move(state.current));
+            state.current = Frame{};
+          }
+          state.open = true;
+        }
+        std::uint8_t byte = 0;
+        for (std::size_t b = 0; b < width; ++b) {
+          if (data_bits[b]->word(w) & bit) byte |= static_cast<std::uint8_t>(1u << b);
+        }
+        state.current.bytes.push_back(byte);
+      }
+    }
+  }
+
+  [[nodiscard]] std::vector<FrameList> finish() {
+    std::vector<FrameList> result;
+    result.reserve(Block::kLanes);
+    for (LaneState& state : lanes_) {
+      if (state.open && !state.current.bytes.empty()) {
+        // Frame left open at end of simulation: the circuit stopped
+        // delivering data mid-frame.
+        state.current.err = true;
+        state.frames.push_back(std::move(state.current));
+      }
+      result.push_back(std::move(state.frames));
+    }
+    return result;
+  }
+
+ private:
+  struct LaneState {
+    FrameList frames;
+    Frame current;
+    bool open = false;
+  };
+
+  const PacketMonitorSpec* spec_;
+  std::vector<LaneState> lanes_;
+};
+
+}  // namespace
+
+template <std::size_t W>
+WideReplayRunner<W>::WideReplayRunner(const CompiledStimulus& stimulus)
+    : stim_(&stimulus), sim_(stimulus.netlist()) {}
+
+template <std::size_t W>
+RunResult WideReplayRunner<W>::run(std::span<const LaneInjection> injections,
+                                   const WideRunOptions& options) {
+  const netlist::Netlist& nl = stim_->netlist();
+  const Testbench& tb = stim_->testbench();
+  const std::size_t num_cycles = stim_->num_cycles();
+  for (const LaneInjection& ev : injections) {
+    if (ev.cycle >= num_cycles) {
+      throw std::invalid_argument("WideReplayRunner: injection beyond end of run");
+    }
+    if (ev.lane >= kLanes) {
+      throw std::invalid_argument("WideReplayRunner: injection lane out of block");
+    }
+  }
+
+  // Injection schedule sorted by cycle for a single sweep.
+  schedule_.assign(injections.begin(), injections.end());
+  std::sort(schedule_.begin(), schedule_.end(),
+            [](const LaneInjection& a, const LaneInjection& b) {
+              return a.cycle < b.cycle;
+            });
+
+  const std::uint64_t evals_before = sim_.eval_count();
+  const std::uint64_t ops_before = sim_.ops_evaluated();
+  WidePacketMonitor<W> monitor(tb.monitor);
+
+  // Loopback registers, driven with their idle value on the first cycle.
+  loop_values_.resize(tb.loopbacks.size());
+  for (std::size_t i = 0; i < tb.loopbacks.size(); ++i) {
+    loop_values_[i] = Block::splat(broadcast(tb.loopbacks[i].initial));
+  }
+
+  // Start point: reset, or the latest golden checkpoint not after the first
+  // injection. Golden snapshot words are broadcast (all 64 lanes identical),
+  // so splatting each word across the block restores whole blocks whose
+  // W * 64 lanes all sit on the golden prefix.
+  std::size_t start_cycle = 0;
+  if (options.resume != nullptr && !schedule_.empty()) {
+    const GoldenCheckpoints::Snapshot& snap =
+        options.resume->at_or_before(schedule_.front().cycle);
+    if (snap.loopback_values.size() != loop_values_.size()) {
+      throw std::invalid_argument(
+          "WideReplayRunner: checkpoint/testbench loopback mismatch");
+    }
+    start_cycle = snap.cycle;
+    restore_state_.resize(snap.ff_state.size());
+    for (std::size_t i = 0; i < snap.ff_state.size(); ++i) {
+      restore_state_[i] = Block::splat(snap.ff_state[i]);
+    }
+    sim_.restore_ff_state(restore_state_);
+    for (std::size_t i = 0; i < snap.loopback_values.size(); ++i) {
+      loop_values_[i] = Block::splat(snap.loopback_values[i]);
+    }
+    monitor.seed(snap.frames, snap.open_bytes, snap.frame_open);
+  } else {
+    sim_.reset();
+  }
+
+  std::size_t next_event = 0;
+  const auto pis = nl.primary_inputs();
+  for (std::size_t cycle = start_cycle; cycle < num_cycles; ++cycle) {
+    for (std::size_t i = 0; i < pis.size(); ++i) {
+      sim_.set_input(pis[i], Block::splat(stim_->input(cycle, i)));
+    }
+    for (std::size_t i = 0; i < tb.loopbacks.size(); ++i) {
+      sim_.set_input(tb.loopbacks[i].to_input, loop_values_[i]);
+    }
+    while (next_event < schedule_.size() && schedule_[next_event].cycle == cycle) {
+      sim_.inject(schedule_[next_event].ff_cell,
+                  Block::lane_mask(schedule_[next_event].lane));
+      ++next_event;
+    }
+    if (options.incremental_eval) {
+      sim_.eval_incremental();
+    } else {
+      sim_.eval();
+    }
+    monitor.observe(sim_, cycle);
+    for (std::size_t i = 0; i < tb.loopbacks.size(); ++i) {
+      loop_values_[i] = sim_.value(tb.loopbacks[i].from_net);
+    }
+    sim_.tick();
+  }
+
+  RunResult result;
+  result.lane_frames = monitor.finish();
+  result.eval_count = sim_.eval_count() - evals_before;
+  result.cycles_simulated = num_cycles - start_cycle;
+  result.ops_evaluated = sim_.ops_evaluated() - ops_before;
+  result.start_cycle = start_cycle;
+  return result;
+}
+
+template class WideReplayRunner<1>;
+template class WideReplayRunner<4>;
+template class WideReplayRunner<8>;
+
+}  // namespace ffr::sim

@@ -1,0 +1,79 @@
+#pragma once
+/// \file wide_runner.hpp
+/// \brief Block-wide testbench driver for campaign fault passes: the
+/// WideSimulator<W> counterpart of ReplayRunner. One run advances W * 64
+/// independent fault scenarios; stimulus words from the shared
+/// CompiledStimulus are splatted across the block, and a golden checkpoint
+/// resume restores whole blocks — every 64-lane golden word is broadcast by
+/// construction, so splatting it into the W words of a block reproduces the
+/// golden prefix on all W * 64 lanes bit-exactly.
+///
+/// The wide runner serves fault passes only: it supports checkpoint resume
+/// and incremental evaluation, but not checkpoint recording or activity
+/// tracing — those stay on the scalar golden path (runner.hpp), which is the
+/// differential reference for every wider width.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/runner.hpp"
+#include "sim/wide_sim.hpp"
+
+namespace ffr::sim {
+
+/// A scheduled single-event upset for a wide pass: flip `ff_cell` in the
+/// single lane `lane` (< W * 64) at the start of `cycle`. Single-lane by
+/// design — campaign passes inject exactly one fault per lane.
+struct LaneInjection {
+  netlist::CellId ff_cell = netlist::kNoCell;
+  std::uint32_t cycle = 0;
+  std::uint32_t lane = 0;
+};
+
+struct WideRunOptions {
+  /// Resume from the latest golden checkpoint at or before the earliest
+  /// injection instead of replaying from reset (see RunOptions::resume).
+  /// Ignored when the schedule is empty.
+  const GoldenCheckpoints* resume = nullptr;
+  /// Use dirty-set eval_incremental() per cycle instead of the full sweep.
+  bool incremental_eval = false;
+};
+
+/// Reusable wide-pass driver: owns one WideSimulator<W>, so the levelized op
+/// list is built once per worker and only reset + replayed per run(). Frames
+/// observed on lane L are bit-identical to the scalar ReplayRunner running
+/// the same injection in any of its 64 lanes. Not thread-safe; use one
+/// runner per worker.
+template <std::size_t W>
+class WideReplayRunner {
+ public:
+  using Block = LaneBlock<W>;
+  static constexpr std::size_t kLanes = Block::kLanes;
+
+  explicit WideReplayRunner(const CompiledStimulus& stimulus);
+
+  /// Replays the testbench with the given fault schedule (from reset, or
+  /// from a golden checkpoint when options.resume is set). The returned
+  /// RunResult carries W * 64 lane frame streams and no activity trace.
+  [[nodiscard]] RunResult run(std::span<const LaneInjection> injections = {},
+                              const WideRunOptions& options = {});
+
+  /// The owned simulator, e.g. to inspect flip-flop state after a run.
+  [[nodiscard]] const WideSimulator<W>& simulator() const noexcept {
+    return sim_;
+  }
+
+ private:
+  const CompiledStimulus* stim_;
+  WideSimulator<W> sim_;
+  std::vector<LaneInjection> schedule_;  // scratch, reused across runs
+  std::vector<Block> loop_values_;       // scratch
+  std::vector<Block> restore_state_;     // scratch for block-splat restores
+};
+
+extern template class WideReplayRunner<1>;
+extern template class WideReplayRunner<4>;
+extern template class WideReplayRunner<8>;
+
+}  // namespace ffr::sim

@@ -1,0 +1,260 @@
+#include "sim/wide_sim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ffr::sim {
+
+using netlist::CellFunc;
+
+namespace {
+
+/// Block-wide gate kernel: the same truth tables as the scalar compute_op in
+/// packed_sim.cpp, expressed over LaneBlock operators so one evaluation
+/// advances W * 64 lanes. Kept internal-linkage so each translation unit
+/// compiles it at its own vector width.
+template <std::size_t W>
+[[nodiscard]] LaneBlock<W> compute_op(CellFunc func, const netlist::NetId* in,
+                                      const LaneBlock<W>* v) {
+  switch (func) {
+    case CellFunc::kConst0: return LaneBlock<W>::zero();
+    case CellFunc::kConst1: return LaneBlock<W>::ones();
+    case CellFunc::kBuf: return v[in[0]];
+    case CellFunc::kInv: return ~v[in[0]];
+    case CellFunc::kAnd2: return v[in[0]] & v[in[1]];
+    case CellFunc::kAnd3: return v[in[0]] & v[in[1]] & v[in[2]];
+    case CellFunc::kAnd4: return v[in[0]] & v[in[1]] & v[in[2]] & v[in[3]];
+    case CellFunc::kNand2: return ~(v[in[0]] & v[in[1]]);
+    case CellFunc::kNand3: return ~(v[in[0]] & v[in[1]] & v[in[2]]);
+    case CellFunc::kNand4: return ~(v[in[0]] & v[in[1]] & v[in[2]] & v[in[3]]);
+    case CellFunc::kOr2: return v[in[0]] | v[in[1]];
+    case CellFunc::kOr3: return v[in[0]] | v[in[1]] | v[in[2]];
+    case CellFunc::kOr4: return v[in[0]] | v[in[1]] | v[in[2]] | v[in[3]];
+    case CellFunc::kNor2: return ~(v[in[0]] | v[in[1]]);
+    case CellFunc::kNor3: return ~(v[in[0]] | v[in[1]] | v[in[2]]);
+    case CellFunc::kNor4: return ~(v[in[0]] | v[in[1]] | v[in[2]] | v[in[3]]);
+    case CellFunc::kXor2: return v[in[0]] ^ v[in[1]];
+    case CellFunc::kXnor2: return ~(v[in[0]] ^ v[in[1]]);
+    case CellFunc::kMux2: {
+      const LaneBlock<W>& sel = v[in[2]];
+      return (sel & v[in[1]]) | (~sel & v[in[0]]);
+    }
+    case CellFunc::kAoi21: return ~((v[in[0]] & v[in[1]]) | v[in[2]]);
+    case CellFunc::kOai21: return ~((v[in[0]] | v[in[1]]) & v[in[2]]);
+    case CellFunc::kDff:
+      throw std::logic_error("DFF in combinational op list");
+  }
+  throw std::logic_error("compute_op: unknown cell function");
+}
+
+}  // namespace
+
+template <std::size_t W>
+WideSimulator<W>::WideSimulator(const netlist::Netlist& nl) : nl_(&nl) {
+  if (!nl.finalized()) {
+    throw std::invalid_argument("WideSimulator: netlist not finalized");
+  }
+  values_.assign(nl.num_nets(), Block::zero());
+  ops_.reserve(nl.topo_order().size());
+  for (const netlist::CellId id : nl.topo_order()) {
+    const netlist::Cell& cell = nl.cell(id);
+    Op op;
+    op.func = cell.func;
+    op.num_inputs = static_cast<std::uint8_t>(cell.inputs.size());
+    for (std::size_t i = 0; i < cell.inputs.size(); ++i) op.in[i] = cell.inputs[i];
+    op.out = cell.output;
+    ops_.push_back(op);
+  }
+  ff_slot_.assign(nl.num_cells(), ~std::uint32_t{0});
+  for (const netlist::CellId id : nl.flip_flops()) {
+    const netlist::Cell& cell = nl.cell(id);
+    ff_slot_[id] = static_cast<std::uint32_t>(ffs_.size());
+    ffs_.push_back(FfSlot{cell.inputs[0], cell.output,
+                          cell.init_value ? Block::ones() : Block::zero()});
+  }
+  next_state_.assign(ffs_.size(), Block::zero());
+
+  // Net -> reading-op fanout in CSR form (counting sort by input net);
+  // identical construction to the scalar PackedSimulator.
+  fanout_begin_.assign(nl.num_nets() + 1, 0);
+  for (const Op& op : ops_) {
+    for (std::size_t i = 0; i < op.num_inputs; ++i) ++fanout_begin_[op.in[i] + 1];
+  }
+  for (std::size_t n = 1; n < fanout_begin_.size(); ++n) {
+    fanout_begin_[n] += fanout_begin_[n - 1];
+  }
+  fanout_ops_.resize(fanout_begin_.back());
+  std::vector<std::uint32_t> cursor(fanout_begin_.begin(), fanout_begin_.end() - 1);
+  for (std::uint32_t idx = 0; idx < ops_.size(); ++idx) {
+    const Op& op = ops_[idx];
+    for (std::size_t i = 0; i < op.num_inputs; ++i) {
+      fanout_ops_[cursor[op.in[i]]++] = idx;
+    }
+  }
+  op_level_.resize(ops_.size());
+  std::vector<std::uint32_t> net_level(nl.num_nets(), 0);
+  std::uint32_t max_level = 0;
+  for (std::uint32_t idx = 0; idx < ops_.size(); ++idx) {
+    const Op& op = ops_[idx];
+    std::uint32_t level = 0;
+    for (std::size_t i = 0; i < op.num_inputs; ++i) {
+      level = std::max(level, net_level[op.in[i]]);
+    }
+    op_level_[idx] = level;
+    net_level[op.out] = level + 1;
+    max_level = std::max(max_level, level);
+  }
+  level_buckets_.resize(ops_.empty() ? 0 : max_level + 1);
+
+  net_dirty_.assign(nl.num_nets(), 0);
+  op_pending_.assign(ops_.size(), 0);
+  dirty_nets_.reserve(64);
+
+  reset();
+}
+
+template <std::size_t W>
+void WideSimulator<W>::reset() {
+  std::fill(values_.begin(), values_.end(), Block::zero());
+  for (const FfSlot& ff : ffs_) values_[ff.q] = ff.init;
+  eval();
+}
+
+template <std::size_t W>
+void WideSimulator<W>::set_input(netlist::NetId net, const Block& value) {
+  if (net >= values_.size() || nl_->net(net).pi_index < 0) {
+    throw std::invalid_argument("set_input: not a primary input net");
+  }
+  if (differs(values_[net], value)) {
+    values_[net] = value;
+    mark_dirty(net);
+  }
+}
+
+template <std::size_t W>
+void WideSimulator<W>::mark_dirty(netlist::NetId net) {
+  if (!net_dirty_[net]) {
+    net_dirty_[net] = 1;
+    dirty_nets_.push_back(net);
+  }
+}
+
+template <std::size_t W>
+void WideSimulator<W>::schedule_fanout(netlist::NetId net) {
+  for (std::uint32_t f = fanout_begin_[net]; f < fanout_begin_[net + 1]; ++f) {
+    const std::uint32_t idx = fanout_ops_[f];
+    if (!op_pending_[idx]) {
+      op_pending_[idx] = 1;
+      level_buckets_[op_level_[idx]].push_back(idx);
+    }
+  }
+}
+
+template <std::size_t W>
+void WideSimulator<W>::clear_dirty() {
+  for (const netlist::NetId net : dirty_nets_) net_dirty_[net] = 0;
+  dirty_nets_.clear();
+}
+
+template <std::size_t W>
+void WideSimulator<W>::eval() {
+  ++eval_count_;
+  ops_evaluated_ += ops_.size();
+  Block* const v = values_.data();
+  for (const Op& op : ops_) {
+    v[op.out] = compute_op<W>(op.func, op.in, v);
+  }
+  clear_dirty();
+  coherent_ = true;
+}
+
+template <std::size_t W>
+void WideSimulator<W>::eval_incremental() {
+  if (!coherent_) {
+    eval();
+    return;
+  }
+  ++eval_count_;
+  Block* const v = values_.data();
+  for (const netlist::NetId net : dirty_nets_) {
+    net_dirty_[net] = 0;
+    schedule_fanout(net);
+  }
+  dirty_nets_.clear();
+  std::uint64_t evaluated = 0;
+  // An evaluated op only ever schedules deeper levels, so one in-order sweep
+  // over the buckets settles everything.
+  for (std::vector<std::uint32_t>& bucket : level_buckets_) {
+    for (std::size_t b = 0; b < bucket.size(); ++b) {
+      const std::uint32_t idx = bucket[b];
+      op_pending_[idx] = 0;
+      const Op& op = ops_[idx];
+      const Block out = compute_op<W>(op.func, op.in, v);
+      ++evaluated;
+      if (differs(out, v[op.out])) {
+        v[op.out] = out;
+        schedule_fanout(op.out);
+      }
+    }
+    bucket.clear();
+  }
+  ops_evaluated_ += evaluated;
+}
+
+template <std::size_t W>
+void WideSimulator<W>::tick() {
+  for (std::size_t i = 0; i < ffs_.size(); ++i) next_state_[i] = values_[ffs_[i].d];
+  for (std::size_t i = 0; i < ffs_.size(); ++i) {
+    if (differs(values_[ffs_[i].q], next_state_[i])) {
+      values_[ffs_[i].q] = next_state_[i];
+      mark_dirty(ffs_[i].q);
+    }
+  }
+}
+
+template <std::size_t W>
+void WideSimulator<W>::inject(netlist::CellId ff_cell, const Block& mask) {
+  const std::uint32_t slot = ff_slot_.at(ff_cell);
+  if (slot == ~std::uint32_t{0}) {
+    throw std::invalid_argument("inject: cell is not a flip-flop");
+  }
+  if (any(mask)) {
+    values_[ffs_[slot].q] ^= mask;
+    mark_dirty(ffs_[slot].q);
+  }
+}
+
+template <std::size_t W>
+void WideSimulator<W>::snapshot_ff_state(std::vector<Block>& out) const {
+  out.resize(ffs_.size());
+  for (std::size_t i = 0; i < ffs_.size(); ++i) out[i] = values_[ffs_[i].q];
+}
+
+template <std::size_t W>
+void WideSimulator<W>::restore_ff_state(std::span<const Block> state) {
+  if (state.size() != ffs_.size()) {
+    throw std::invalid_argument("restore_ff_state: state size mismatch");
+  }
+  for (std::size_t i = 0; i < ffs_.size(); ++i) values_[ffs_[i].q] = state[i];
+  // Combinational nets are now stale relative to the restored registers;
+  // force the next incremental sweep to run in full. Note this covers nets
+  // whose blocks were dirtied before the restore too — the stale dirty set
+  // is superseded by the full resync sweep, never consulted to skip work.
+  coherent_ = false;
+}
+
+template <std::size_t W>
+const typename WideSimulator<W>::Block& WideSimulator<W>::ff_state(
+    netlist::CellId ff_cell) const {
+  const std::uint32_t slot = ff_slot_.at(ff_cell);
+  if (slot == ~std::uint32_t{0}) {
+    throw std::invalid_argument("ff_state: cell is not a flip-flop");
+  }
+  return values_[ffs_[slot].q];
+}
+
+template class WideSimulator<1>;
+template class WideSimulator<4>;
+template class WideSimulator<8>;
+
+}  // namespace ffr::sim

@@ -1,0 +1,135 @@
+#pragma once
+/// \file wide_sim.hpp
+/// \brief Block-wide bit-parallel gate simulator: the LaneBlock<W> generalization
+/// of PackedSimulator. Every net carries one LaneBlock<W> (W * 64 fault
+/// lanes), and the eval / eval_incremental / tick / inject / restore inner
+/// loops are written over the block type, so GCC/Clang lower each gate
+/// evaluation to one AVX2 (W=4) or AVX-512 (W=8) operation where the build
+/// architecture allows.
+///
+/// WideSimulator<W> mirrors PackedSimulator exactly — same levelized op
+/// list, same fanout-CSR dirty-set machinery, same coherence contract after
+/// restore_ff_state() — and every lane is bit-identical to the scalar
+/// simulator running that lane's scenario (the scalar 64-bit path in
+/// packed_sim.hpp is deliberately untouched as the differential reference;
+/// see tests/test_lane_width.cpp). Blocks cross this interface by reference
+/// only: the SIMD argument ABI of the build flags never leaks between
+/// translation units.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/lane_block.hpp"
+
+namespace ffr::sim {
+
+template <std::size_t W>
+class WideSimulator {
+ public:
+  using Block = LaneBlock<W>;
+  static constexpr std::size_t kLanes = Block::kLanes;
+
+  /// The netlist must be finalized. The simulator keeps a reference; the
+  /// netlist must outlive it.
+  explicit WideSimulator(const netlist::Netlist& nl);
+
+  /// Resets every flip-flop to its init value (all lanes) and clears inputs.
+  void reset();
+
+  void set_input(netlist::NetId net, const Block& value);
+
+  /// Re-evaluates all combinational logic from current inputs + FF states.
+  void eval();
+
+  /// Event-driven sweep over the dirty cone; bit-identical to eval(). Falls
+  /// back to a full eval() while the stored values are not known to be
+  /// coherent (after restore_ff_state()), exactly like the scalar path — a
+  /// restored block invalidates every combinational net, including blocks
+  /// that were dirtied before the restore and never restored themselves.
+  void eval_incremental();
+
+  /// Clock edge: every flip-flop captures its D input. Call eval() first.
+  void tick();
+
+  /// Flips the stored state of a flip-flop in the lanes set in `mask`.
+  void inject(netlist::CellId ff_cell, const Block& mask);
+
+  [[nodiscard]] std::size_t num_ffs() const noexcept { return ffs_.size(); }
+
+  /// Copies every flip-flop's Q block into `out` (Netlist::flip_flops order).
+  void snapshot_ff_state(std::vector<Block>& out) const;
+
+  /// Overwrites every flip-flop's Q block from `state` (same order/size as
+  /// snapshot_ff_state). Combinational nets become stale: the next
+  /// eval_incremental() performs a full sweep to re-establish coherence.
+  /// \throws std::invalid_argument on a size mismatch.
+  void restore_ff_state(std::span<const Block> state);
+
+  [[nodiscard]] const Block& value(netlist::NetId net) const {
+    return values_[net];
+  }
+  [[nodiscard]] bool value_in_lane(netlist::NetId net, std::size_t lane) const {
+    return values_[net].lane(lane);
+  }
+
+  /// Current Q block of a flip-flop.
+  [[nodiscard]] const Block& ff_state(netlist::CellId ff_cell) const;
+
+  [[nodiscard]] const netlist::Netlist& netlist() const noexcept { return *nl_; }
+
+  /// Number of eval()/eval_incremental() sweeps since construction.
+  [[nodiscard]] std::uint64_t eval_count() const noexcept { return eval_count_; }
+
+  /// Individual op evaluations since construction (one per op per sweep,
+  /// regardless of block width): eval() adds the full op count,
+  /// eval_incremental() only the ops it actually visited.
+  [[nodiscard]] std::uint64_t ops_evaluated() const noexcept {
+    return ops_evaluated_;
+  }
+
+ private:
+  struct Op {
+    netlist::CellFunc func;
+    std::uint8_t num_inputs;
+    netlist::NetId in[4];
+    netlist::NetId out;
+  };
+  struct FfSlot {
+    netlist::NetId d;
+    netlist::NetId q;
+    Block init;
+  };
+
+  void mark_dirty(netlist::NetId net);
+  void schedule_fanout(netlist::NetId net);
+  void clear_dirty();
+
+  const netlist::Netlist* nl_;
+  std::vector<Op> ops_;              // combinational cells, topo order
+  std::vector<FfSlot> ffs_;          // all flip-flops
+  std::vector<Block> values_;        // per net, one lane block each
+  std::vector<Block> next_state_;    // scratch for tick()
+  std::vector<std::uint32_t> ff_slot_;  // CellId -> index into ffs_ (or ~0)
+
+  // Dirty-set machinery, identical in structure to PackedSimulator (see
+  // packed_sim.hpp for the level-bucket scheduling rationale).
+  std::vector<std::uint32_t> fanout_begin_;
+  std::vector<std::uint32_t> fanout_ops_;
+  std::vector<std::uint32_t> op_level_;
+  std::vector<std::vector<std::uint32_t>> level_buckets_;
+  std::vector<netlist::NetId> dirty_nets_;
+  std::vector<std::uint8_t> net_dirty_;
+  std::vector<std::uint8_t> op_pending_;
+  bool coherent_ = false;
+
+  std::uint64_t eval_count_ = 0;
+  std::uint64_t ops_evaluated_ = 0;
+};
+
+extern template class WideSimulator<1>;
+extern template class WideSimulator<4>;
+extern template class WideSimulator<8>;
+
+}  // namespace ffr::sim

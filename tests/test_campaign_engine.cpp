@@ -97,13 +97,26 @@ TEST_F(MacEngineFixture, PacksLanesAcrossFlipFlops) {
   CampaignConfig config;
   config.injections_per_ff = 48;  // flat: 1 pass per FF, 16 idle lanes each
   config.ff_subset = {0, 3, 7, 11, 20, 33, 40, 55};
+  // Pin the scalar width: this test asserts 64-lane packing arithmetic, and
+  // kAuto would pick a wider block on SIMD hosts.
+  config.lane_width = sim::LaneWidth::k64;
   const CampaignResult flat =
       run_campaign(mac->netlist, bench->tb, engine->golden(), config);
   const CampaignResult batched = engine->run(config);
   // 8 x 48 = 384 injections: flat needs 8 passes, batched ceil(384/64) = 6.
   EXPECT_EQ(flat.total_sim_passes, 8u);
   EXPECT_EQ(batched.total_sim_passes, 6u);
+  EXPECT_EQ(batched.lanes_per_pass, 64u);
   expect_bit_identical(flat, batched);
+
+  // Same campaign at whatever width the host resolves for kAuto: the pass
+  // count follows lanes_per_pass, the science does not.
+  CampaignConfig wide = config;
+  wide.lane_width = sim::LaneWidth::kAuto;
+  const CampaignResult auto_width = engine->run(wide);
+  EXPECT_EQ(auto_width.total_sim_passes,
+            (384 + auto_width.lanes_per_pass - 1) / auto_width.lanes_per_pass);
+  expect_bit_identical(flat, auto_width);
 }
 
 TEST_F(MacEngineFixture, DeterministicAcrossThreadsAndBatchSizes) {

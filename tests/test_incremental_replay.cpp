@@ -18,6 +18,7 @@
 #include "fault/engine.hpp"
 #include "sim/packed_sim.hpp"
 #include "sim/runner.hpp"
+#include "sim/wide_sim.hpp"
 #include "util/rng.hpp"
 
 namespace ffr {
@@ -108,6 +109,104 @@ TEST(DirtySetEval, RestoreRejectsSizeMismatch) {
   const netlist::Netlist nl = circuits::build_random_circuit({});
   sim::PackedSimulator sim(nl);
   const std::vector<sim::Lanes> wrong(sim.num_ffs() + 1, 0);
+  EXPECT_THROW(sim.restore_ff_state(wrong), std::invalid_argument);
+}
+
+// ---- wide (SIMD lane-block) simulator: same dirty-set contracts ----------------
+
+template <std::size_t W>
+sim::LaneBlock<W> random_block(util::Rng& rng) {
+  sim::LaneBlock<W> block = sim::LaneBlock<W>::zero();
+  for (std::size_t w = 0; w < W; ++w) block.set_word(w, rng());
+  return block;
+}
+
+template <std::size_t W>
+void check_wide_dirty_set_matches_full() {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    circuits::RandomCircuitConfig cc;
+    cc.num_gates = 50 + 25 * static_cast<std::size_t>(seed % 3);
+    cc.num_flip_flops = 6 + 3 * static_cast<std::size_t>(seed % 2);
+    cc.seed = seed;
+    const netlist::Netlist nl = circuits::build_random_circuit(cc);
+    sim::WideSimulator<W> full(nl);
+    sim::WideSimulator<W> incremental(nl);
+    util::Rng rng(seed * 55 + 2);
+    const auto pis = nl.primary_inputs();
+    const auto ffs = nl.flip_flops();
+    for (int cycle = 0; cycle < 24; ++cycle) {
+      for (const netlist::NetId pi : pis) {
+        const auto value = random_block<W>(rng);
+        full.set_input(pi, value);
+        incremental.set_input(pi, value);
+      }
+      if (!ffs.empty() && rng.bernoulli(0.3)) {
+        const netlist::CellId cell = ffs[rng.below(ffs.size())];
+        const auto mask = random_block<W>(rng);
+        full.inject(cell, mask);
+        incremental.inject(cell, mask);
+      }
+      full.eval();
+      incremental.eval_incremental();
+      for (netlist::NetId net = 0; net < nl.num_nets(); ++net) {
+        ASSERT_FALSE(differs(full.value(net), incremental.value(net)))
+            << "W=" << W << " seed " << seed << " cycle " << cycle << " net "
+            << net << " (" << nl.net(net).name << ")";
+      }
+      full.tick();
+      incremental.tick();
+    }
+    EXPECT_LE(incremental.ops_evaluated(), full.ops_evaluated())
+        << "W=" << W << " seed " << seed;
+  }
+}
+
+TEST(WideDirtySetEval, MatchesFullEvalAt256) { check_wide_dirty_set_matches_full<4>(); }
+TEST(WideDirtySetEval, MatchesFullEvalAt512) { check_wide_dirty_set_matches_full<8>(); }
+
+template <std::size_t W>
+void check_wide_restore_forces_resync() {
+  const netlist::Netlist nl = circuits::build_random_circuit({});
+  sim::WideSimulator<W> reference(nl);
+  sim::WideSimulator<W> sim(nl);
+  util::Rng rng(43 + W);
+  const auto pis = nl.primary_inputs();
+  const auto ffs = nl.flip_flops();
+  // Walk `sim` into a fully diverged per-lane state (checkpoint-restore at
+  // width > 64 happens mid-campaign, when every block carries live faults).
+  for (int cycle = 0; cycle < 6; ++cycle) {
+    for (const netlist::NetId pi : pis) sim.set_input(pi, random_block<W>(rng));
+    if (!ffs.empty()) sim.inject(ffs[rng.below(ffs.size())], random_block<W>(rng));
+    sim.eval_incremental();
+    sim.tick();
+  }
+  // Regression guard: leave nets dirtied but NOT yet swept when the restore
+  // lands. A resync that trusted the stale dirty set would only re-evaluate
+  // those cones and skip every block the restore invalidated underneath.
+  for (const netlist::NetId pi : pis) sim.set_input(pi, random_block<W>(rng));
+  std::vector<sim::LaneBlock<W>> state;
+  reference.snapshot_ff_state(state);
+  sim.restore_ff_state(state);
+  for (const netlist::NetId pi : pis) sim.set_input(pi, reference.value(pi));
+  sim.eval_incremental();
+  for (netlist::NetId net = 0; net < nl.num_nets(); ++net) {
+    ASSERT_FALSE(differs(sim.value(net), reference.value(net)))
+        << "W=" << W << " net " << net << " (" << nl.net(net).name << ")";
+  }
+}
+
+TEST(WideDirtySetEval, RestoreForcesFullResyncAt256) {
+  check_wide_restore_forces_resync<4>();
+}
+TEST(WideDirtySetEval, RestoreForcesFullResyncAt512) {
+  check_wide_restore_forces_resync<8>();
+}
+
+TEST(WideDirtySetEval, RestoreRejectsSizeMismatch) {
+  const netlist::Netlist nl = circuits::build_random_circuit({});
+  sim::WideSimulator<8> sim(nl);
+  const std::vector<sim::LaneBlock<8>> wrong(sim.num_ffs() + 1,
+                                             sim::LaneBlock<8>::zero());
   EXPECT_THROW(sim.restore_ff_state(wrong), std::invalid_argument);
 }
 

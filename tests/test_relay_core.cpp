@@ -85,6 +85,9 @@ TEST_F(RelayFixture, SmallSubsetCampaignCompletes) {
   fault::CampaignEngine engine(core->netlist, bench->tb);
   fault::CampaignConfig config;
   config.injections_per_ff = 16;
+  // Pin the scalar width: the pass-count assertion below is 64-lane packing
+  // arithmetic (kAuto would pick a wider block on SIMD hosts).
+  config.lane_width = sim::LaneWidth::k64;
   // A spread of flip-flops across the chain: ingress storage, mid-chain
   // pointers, egress CRC.
   const std::size_t n = core->netlist.num_flip_flops();
@@ -195,6 +198,41 @@ TEST_F(RelayFixture, IncrementalCampaignBitExactAndCheaper) {
   EXPECT_GT(incremental.checkpoint_restores, 0u);
   EXPECT_LT(incremental.cycles_simulated, full.cycles_simulated);
   EXPECT_LT(incremental.ops_evaluated, full.ops_evaluated);
+}
+
+TEST_F(RelayFixture, LaneWidthDifferentialAtPaperScale) {
+  // The SIMD lane-block paths must match the flat 64-lane reference on the
+  // paper-scale circuit too, in both checkpointed replay modes. Reduced
+  // subset/injection counts keep the scale budget; test_lane_width.cpp
+  // carries the exhaustive width x mode x thread sweep on small circuits.
+  sim::force_native_lane_width_for_testing(sim::LaneWidth::k512);
+  fault::CampaignEngine engine(core->netlist, bench->tb);
+  fault::CampaignConfig config;
+  config.injections_per_ff = 30;
+  const std::size_t n = core->netlist.num_flip_flops();
+  for (std::size_t i = 0; i < n; i += 97) config.ff_subset.push_back(i);
+
+  const fault::CampaignResult flat =
+      fault::run_campaign(core->netlist, bench->tb, engine.golden(), config);
+  for (const sim::LaneWidth width : {sim::LaneWidth::k256, sim::LaneWidth::k512}) {
+    for (const fault::ReplayMode mode :
+         {fault::ReplayMode::kCheckpoint, fault::ReplayMode::kIncremental}) {
+      SCOPED_TRACE(std::string("width ") + sim::to_string(width) + " mode " +
+                   to_string(mode));
+      fault::CampaignConfig wide = config;
+      wide.lane_width = width;
+      wide.replay_mode = mode;
+      const fault::CampaignResult result = engine.run(wide);
+      EXPECT_EQ(result.lanes_per_pass, sim::lanes_of(width));
+      ASSERT_EQ(flat.per_ff.size(), result.per_ff.size());
+      for (std::size_t i = 0; i < flat.per_ff.size(); ++i) {
+        EXPECT_EQ(flat.per_ff[i].classes.counts, result.per_ff[i].classes.counts)
+            << "ff " << flat.per_ff[i].name;
+      }
+      EXPECT_EQ(flat.fdr_vector(), result.fdr_vector());
+    }
+  }
+  sim::force_native_lane_width_for_testing(sim::LaneWidth::kAuto);
 }
 
 }  // namespace
