@@ -208,6 +208,9 @@ void NetlistBuilder::assign_drive_strengths() {
   }
   for (CellId id = 0; id < netlist_.num_cells(); ++id) {
     Cell& cell = netlist_.mutable_cell(id);
+    // Tie cells exist only at X1 in the library (lookup coerces them, and
+    // the Verilog round-trip could not represent an upsized constant).
+    if (is_constant(cell.func)) continue;
     const std::uint32_t out_fanout = fanout[cell.output];
     if (out_fanout > 8) {
       cell.drive = DriveStrength::kX4;

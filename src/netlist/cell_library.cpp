@@ -100,6 +100,25 @@ bool evaluate(CellFunc func, std::span<const bool> in) {
   throw std::logic_error("evaluate(): unknown cell function");
 }
 
+std::string_view input_pin_name(CellFunc func, std::size_t index) noexcept {
+  if (func == CellFunc::kMux2) {
+    constexpr std::string_view kPins[] = {"A", "B", "S"};
+    return kPins[index];
+  }
+  if (func == CellFunc::kAoi21 || func == CellFunc::kOai21) {
+    constexpr std::string_view kPins[] = {"A1", "A2", "B"};
+    return kPins[index];
+  }
+  if (func == CellFunc::kDff) return "D";
+  if (num_inputs(func) == 1) return "A";  // INV/BUF, as in NanGate45
+  constexpr std::string_view kPins[] = {"A1", "A2", "A3", "A4"};
+  return kPins[index];
+}
+
+std::string_view output_pin_name(CellFunc func) noexcept {
+  return is_sequential(func) ? "Q" : "ZN";
+}
+
 namespace {
 
 // Representative X1 areas (um^2) in the spirit of NanGate45; scaled by drive.

@@ -63,6 +63,17 @@ enum class DriveStrength : std::uint8_t { kX1 = 1, kX2 = 2, kX4 = 4 };
 /// Precondition: inputs.size() == num_inputs(func) and func is combinational.
 [[nodiscard]] bool evaluate(CellFunc func, std::span<const bool> inputs);
 
+/// Verilog pin name of the `index`-th input of a cell (NanGate45-style:
+/// A for INV/BUF, A1..A4 for multi-input gates, A/B/S for MUX2, A1/A2/B for
+/// AOI21/OAI21, D for DFF). Shared by the Verilog writer and reader so
+/// emitted and elaborated connections agree by construction.
+/// Precondition: index < num_inputs(func).
+[[nodiscard]] std::string_view input_pin_name(CellFunc func,
+                                              std::size_t index) noexcept;
+
+/// Verilog pin name of a cell's output: "Q" for the DFF, "ZN" otherwise.
+[[nodiscard]] std::string_view output_pin_name(CellFunc func) noexcept;
+
 /// One selectable cell of the library (function + drive variant).
 struct LibraryCell {
   CellFunc func;

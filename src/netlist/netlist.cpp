@@ -193,4 +193,75 @@ std::string Netlist::summary() const {
   return out.str();
 }
 
+namespace {
+
+bool mismatch_at(std::string* out, const std::string& what) {
+  if (out != nullptr) *out = what;
+  return false;
+}
+
+}  // namespace
+
+bool structurally_equal(const Netlist& a, const Netlist& b, std::string* mismatch) {
+  if (a.name() != b.name()) {
+    return mismatch_at(mismatch, "module name: '" + a.name() + "' vs '" +
+                                     b.name() + "'");
+  }
+  if (a.num_nets() != b.num_nets()) {
+    return mismatch_at(mismatch, "net count: " + std::to_string(a.num_nets()) +
+                                     " vs " + std::to_string(b.num_nets()));
+  }
+  for (NetId id = 0; id < a.num_nets(); ++id) {
+    const Net& na = a.net(id);
+    const Net& nb = b.net(id);
+    if (na.name != nb.name || na.pi_index != nb.pi_index) {
+      return mismatch_at(mismatch, "net " + std::to_string(id) + ": '" + na.name +
+                                       "' (pi " + std::to_string(na.pi_index) +
+                                       ") vs '" + nb.name + "' (pi " +
+                                       std::to_string(nb.pi_index) + ")");
+    }
+  }
+  if (a.num_cells() != b.num_cells()) {
+    return mismatch_at(mismatch, "cell count: " + std::to_string(a.num_cells()) +
+                                     " vs " + std::to_string(b.num_cells()));
+  }
+  for (CellId id = 0; id < a.num_cells(); ++id) {
+    const Cell& ca = a.cell(id);
+    const Cell& cb = b.cell(id);
+    const char* field = nullptr;
+    if (ca.name != cb.name) field = "name";
+    else if (ca.func != cb.func) field = "func";
+    else if (ca.drive != cb.drive) field = "drive";
+    else if (ca.init_value != cb.init_value) field = "init_value";
+    else if (ca.inputs != cb.inputs) field = "inputs";
+    else if (ca.output != cb.output) field = "output";
+    if (field != nullptr) {
+      return mismatch_at(mismatch, "cell " + std::to_string(id) + " ('" + ca.name +
+                                       "' vs '" + cb.name + "'): " + field +
+                                       " differs");
+    }
+  }
+  if (a.primary_output_names() != b.primary_output_names()) {
+    return mismatch_at(mismatch, "primary output names differ");
+  }
+  if (!std::equal(a.primary_outputs().begin(), a.primary_outputs().end(),
+                  b.primary_outputs().begin(), b.primary_outputs().end())) {
+    return mismatch_at(mismatch, "primary output nets differ");
+  }
+  if (a.register_buses().size() != b.register_buses().size()) {
+    return mismatch_at(mismatch,
+                       "bus count: " + std::to_string(a.register_buses().size()) +
+                           " vs " + std::to_string(b.register_buses().size()));
+  }
+  for (std::size_t i = 0; i < a.register_buses().size(); ++i) {
+    const RegisterBus& ba = a.register_buses()[i];
+    const RegisterBus& bb = b.register_buses()[i];
+    if (ba.name != bb.name || ba.flip_flops != bb.flip_flops) {
+      return mismatch_at(mismatch, "bus " + std::to_string(i) + " ('" + ba.name +
+                                       "' vs '" + bb.name + "') differs");
+    }
+  }
+  return true;
+}
+
 }  // namespace ffr::netlist

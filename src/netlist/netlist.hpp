@@ -145,4 +145,14 @@ class Netlist {
   bool finalized_ = false;
 };
 
+/// Deep structural comparison in creation order: module name, nets (name,
+/// PI position), cells (name, function, drive, init value, connections by
+/// net name), primary outputs (port name, source net) and register buses
+/// must all match index for index. This is the read -> write -> read oracle
+/// of the Verilog round-trip tests; it is stricter than graph isomorphism
+/// (a reordered but isomorphic netlist compares unequal). When `mismatch`
+/// is non-null the first difference is described into it.
+[[nodiscard]] bool structurally_equal(const Netlist& a, const Netlist& b,
+                                      std::string* mismatch = nullptr);
+
 }  // namespace ffr::netlist

@@ -1,0 +1,222 @@
+#include "netlist/verilog_lexer.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace ffr::netlist {
+
+namespace {
+
+[[nodiscard]] bool is_ident_start(char c) noexcept {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+[[nodiscard]] bool is_ident_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+
+[[nodiscard]] bool is_space(char c) noexcept {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' || c == '\v';
+}
+
+constexpr std::string_view kPragmaPrefix = "ffr:";
+
+}  // namespace
+
+std::string_view to_string(VTokenKind kind) noexcept {
+  switch (kind) {
+    case VTokenKind::kIdentifier: return "identifier";
+    case VTokenKind::kEscapedId: return "escaped identifier";
+    case VTokenKind::kPunct: return "punctuation";
+    case VTokenKind::kLiteral: return "literal";
+    case VTokenKind::kPragma: return "pragma";
+    case VTokenKind::kEof: return "end of file";
+  }
+  return "?";
+}
+
+std::string VToken::describe() const {
+  switch (kind) {
+    case VTokenKind::kIdentifier: return "identifier '" + text + "'";
+    case VTokenKind::kEscapedId: return "identifier '" + text + "'";
+    case VTokenKind::kPunct: return std::string("'") + punct + "'";
+    case VTokenKind::kLiteral: return literal_value ? "1'b1" : "1'b0";
+    case VTokenKind::kPragma: return "pragma '// ffr:" + text + "'";
+    case VTokenKind::kEof: return "end of file";
+  }
+  return "?";
+}
+
+VerilogLexer::VerilogLexer(std::string_view text, std::string filename)
+    : text_(text), filename_(std::move(filename)) {
+  advance();
+}
+
+void VerilogLexer::bump() {
+  if (text_[pos_] == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  ++pos_;
+}
+
+VToken VerilogLexer::take() {
+  VToken token = current_;
+  advance();
+  return token;
+}
+
+VToken VerilogLexer::expect_ident(std::string_view word, std::string_view context) {
+  if (!current_.is_ident(word)) {
+    fail(current_, "expected '" + std::string(word) + "' " + std::string(context) +
+                       ", got " + current_.describe());
+  }
+  return take();
+}
+
+VToken VerilogLexer::expect_punct(char c, std::string_view context) {
+  if (!current_.is_punct(c)) {
+    fail(current_, std::string("expected '") + c + "' " + std::string(context) +
+                       ", got " + current_.describe());
+  }
+  return take();
+}
+
+VToken VerilogLexer::expect_any_ident(std::string_view context) {
+  if (current_.kind != VTokenKind::kIdentifier &&
+      current_.kind != VTokenKind::kEscapedId) {
+    fail(current_, "expected identifier " + std::string(context) + ", got " +
+                       current_.describe());
+  }
+  return take();
+}
+
+void VerilogLexer::fail(const VToken& at, const std::string& message) const {
+  throw std::runtime_error(filename_ + ":" + std::to_string(at.line) + ":" +
+                           std::to_string(at.column) + ": error: " + message);
+}
+
+void VerilogLexer::fail_here(const std::string& message) const {
+  throw std::runtime_error(filename_ + ":" + std::to_string(line_) + ":" +
+                           std::to_string(column_) + ": error: " + message);
+}
+
+void VerilogLexer::advance() {
+  // Skip whitespace and ordinary comments; stop at a pragma comment.
+  for (;;) {
+    while (pos_ < text_.size() && is_space(text_[pos_])) bump();
+    if (at(0) == '/' && at(1) == '/') {
+      const std::size_t comment_line = line_;
+      const std::size_t comment_column = column_;
+      bump();
+      bump();
+      std::size_t body_begin = pos_;
+      while (pos_ < text_.size() && text_[pos_] != '\n') bump();
+      std::string_view body = text_.substr(body_begin, pos_ - body_begin);
+      while (!body.empty() && is_space(body.front())) body.remove_prefix(1);
+      if (body.starts_with(kPragmaPrefix)) {
+        current_ = VToken{};
+        current_.kind = VTokenKind::kPragma;
+        current_.text = std::string(body.substr(kPragmaPrefix.size()));
+        current_.line = comment_line;
+        current_.column = comment_column;
+        return;
+      }
+      continue;
+    }
+    if (at(0) == '/' && at(1) == '*') {
+      const std::size_t open_line = line_;
+      const std::size_t open_column = column_;
+      bump();
+      bump();
+      while (pos_ < text_.size() && !(at(0) == '*' && at(1) == '/')) bump();
+      if (pos_ >= text_.size()) {
+        throw std::runtime_error(filename_ + ":" + std::to_string(open_line) + ":" +
+                                 std::to_string(open_column) +
+                                 ": error: unterminated block comment");
+      }
+      bump();
+      bump();
+      continue;
+    }
+    break;
+  }
+
+  current_ = VToken{};
+  current_.line = line_;
+  current_.column = column_;
+  if (pos_ >= text_.size()) {
+    current_.kind = VTokenKind::kEof;
+    return;
+  }
+
+  const char c = text_[pos_];
+  if (is_ident_start(c)) {
+    const std::size_t begin = pos_;
+    while (pos_ < text_.size() && is_ident_char(text_[pos_])) bump();
+    current_.kind = VTokenKind::kIdentifier;
+    current_.text = std::string(text_.substr(begin, pos_ - begin));
+    return;
+  }
+  if (c == '\\') {
+    // Escaped identifier: backslash through the next whitespace (exclusive).
+    bump();
+    const std::size_t begin = pos_;
+    while (pos_ < text_.size() && !is_space(text_[pos_])) bump();
+    if (pos_ == begin) fail_here("empty escaped identifier");
+    current_.kind = VTokenKind::kEscapedId;
+    current_.text = std::string(text_.substr(begin, pos_ - begin));
+    return;
+  }
+  if (c == '1' && at(1) == '\'') {
+    const char base = at(2);
+    const char digit = at(3);
+    if ((base != 'b' && base != 'B') || (digit != '0' && digit != '1')) {
+      fail_here("malformed literal: only 1'b0 and 1'b1 are supported");
+    }
+    bump();
+    bump();
+    bump();
+    bump();
+    current_.kind = VTokenKind::kLiteral;
+    current_.literal_value = digit == '1';
+    return;
+  }
+  if (std::isdigit(static_cast<unsigned char>(c))) {
+    fail_here("malformed literal: only 1'b0 and 1'b1 are supported");
+  }
+  switch (c) {
+    case '(':
+    case ')':
+    case ';':
+    case ',':
+    case '.':
+    case '=':
+    case '*':
+      bump();
+      current_.kind = VTokenKind::kPunct;
+      current_.punct = c;
+      return;
+    default:
+      fail_here(std::string("unexpected character '") + c + "'");
+  }
+}
+
+std::vector<std::string> split_pragma_fields(std::string_view body) {
+  std::vector<std::string> fields;
+  std::size_t i = 0;
+  while (i < body.size()) {
+    while (i < body.size() && is_space(body[i])) ++i;
+    if (i >= body.size()) break;
+    std::size_t begin = i;
+    while (i < body.size() && !is_space(body[i])) ++i;
+    std::string_view field = body.substr(begin, i - begin);
+    if (field.front() == '\\') field.remove_prefix(1);
+    if (!field.empty()) fields.emplace_back(field);
+  }
+  return fields;
+}
+
+}  // namespace ffr::netlist

@@ -1,0 +1,103 @@
+#pragma once
+/// \file verilog_lexer.hpp
+/// \brief Tokenizer for the structural Verilog subset the netlist layer speaks.
+/// Shared lexical ground for the reader (and any future netlist-format
+/// tooling): plain and escaped identifiers, the `1'b0`/`1'b1` tie-off
+/// literals, single-character punctuation, line/block comments and the
+/// `// ffr:` metadata pragmas the writer emits for register buses. Every
+/// token carries its 1-based line/column so diagnostics can point at the
+/// offending character.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ffr::netlist {
+
+enum class VTokenKind : std::uint8_t {
+  kIdentifier,  ///< Plain identifier or keyword (`module`, `wire`, `nand2_q`).
+  kEscapedId,   ///< `\any-chars ` escaped identifier; text excludes backslash.
+  kPunct,       ///< One of `( ) ; , . = *`.
+  kLiteral,     ///< `1'b0` or `1'b1`; value in `literal_value`.
+  kPragma,      ///< `// ffr:<body>` comment; text is `<body>` (trimmed head).
+  kEof,         ///< End of input.
+};
+
+[[nodiscard]] std::string_view to_string(VTokenKind kind) noexcept;
+
+struct VToken {
+  VTokenKind kind = VTokenKind::kEof;
+  std::string text;          ///< Identifier/pragma body text.
+  char punct = '\0';         ///< Set for kPunct.
+  bool literal_value = false;  ///< Set for kLiteral.
+  std::size_t line = 1;      ///< 1-based source line.
+  std::size_t column = 1;    ///< 1-based source column.
+
+  /// Keyword / punctuation convenience matchers.
+  [[nodiscard]] bool is_ident(std::string_view word) const noexcept {
+    return kind == VTokenKind::kIdentifier && text == word;
+  }
+  [[nodiscard]] bool is_punct(char c) const noexcept {
+    return kind == VTokenKind::kPunct && punct == c;
+  }
+  /// Human-readable description for diagnostics ("identifier 'wire'", "';'").
+  [[nodiscard]] std::string describe() const;
+};
+
+/// One-token-lookahead lexer. Whitespace and ordinary comments are skipped;
+/// `// ffr:` pragma comments are surfaced as kPragma tokens in stream order
+/// so the parser can consume writer-emitted metadata (register buses) at the
+/// position it occurs. Lexical errors (unterminated block comment, stray
+/// character, malformed literal, empty escaped identifier) throw
+/// std::runtime_error with a `<file>:<line>:<col>: error: ...` message.
+class VerilogLexer {
+ public:
+  /// `text` must outlive the lexer. `filename` is used in diagnostics only.
+  VerilogLexer(std::string_view text, std::string filename);
+
+  /// Current token without consuming it.
+  [[nodiscard]] const VToken& peek() const noexcept { return current_; }
+
+  /// Consumes and returns the current token.
+  VToken take();
+
+  /// Consumes the current token, requiring identifier `word`; throws a
+  /// positioned std::runtime_error mentioning `context` otherwise.
+  VToken expect_ident(std::string_view word, std::string_view context);
+
+  /// Consumes the current token, requiring punctuation `c`.
+  VToken expect_punct(char c, std::string_view context);
+
+  /// Consumes the current token, requiring a (plain or escaped) identifier.
+  VToken expect_any_ident(std::string_view context);
+
+  /// Positioned diagnostic: "<file>:<line>:<col>: error: <message>".
+  [[noreturn]] void fail(const VToken& at, const std::string& message) const;
+  [[noreturn]] void fail_here(const std::string& message) const;
+
+  [[nodiscard]] const std::string& filename() const noexcept { return filename_; }
+
+ private:
+  void advance();
+  [[nodiscard]] char at(std::size_t offset) const noexcept {
+    return pos_ + offset < text_.size() ? text_[pos_ + offset] : '\0';
+  }
+  void bump();  // consume one character, tracking line/column
+
+  std::string_view text_;
+  std::string filename_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t column_ = 1;
+  VToken current_;
+};
+
+/// Splits a pragma body into whitespace-separated fields, stripping the
+/// leading backslash of escaped identifiers (writer-emitted pragmas reuse
+/// the same identifier escaping as the surrounding Verilog). Shared by the
+/// reader's `ffr:bus` handling.
+[[nodiscard]] std::vector<std::string> split_pragma_fields(std::string_view body);
+
+}  // namespace ffr::netlist

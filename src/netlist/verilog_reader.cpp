@@ -1,0 +1,478 @@
+#include "netlist/verilog_reader.hpp"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "netlist/cell_library.hpp"
+#include "netlist/verilog_lexer.hpp"
+
+namespace ffr::netlist {
+
+namespace {
+
+// Names of the CONST cells synthesized for 1'b0/1'b1 tie-off literals. The
+// '$' prefix keeps them out of the plain-identifier namespace (they re-emit
+// as escaped identifiers) and away from builder-generated names.
+constexpr std::string_view kTieCellName[2] = {"$ffr_tie0", "$ffr_tie1"};
+constexpr std::string_view kTieNetName[2] = {"$ffr_tie0_zn", "$ffr_tie1_zn"};
+
+/// Parser + elaborator for one module. Single pass: declarations must
+/// precede use, which every writer-emitted file satisfies by construction.
+class Parser {
+ public:
+  Parser(std::string_view text, std::string_view filename)
+      : lexer_(text, std::string(filename)) {}
+
+  Netlist run() {
+    const VToken module_kw = lexer_.expect_ident("module", "to open the netlist");
+    const VToken name_tok = lexer_.expect_any_ident("as the module name");
+    netlist_.emplace(name_tok.text);
+    parse_header();
+    while (!lexer_.peek().is_ident("endmodule")) parse_statement();
+    lexer_.expect_ident("endmodule", "to close the module");
+    if (lexer_.peek().kind != VTokenKind::kEof) {
+      lexer_.fail(lexer_.peek(), "expected end of file after 'endmodule', got " +
+                                     lexer_.peek().describe());
+    }
+    check_ports_complete();
+    check_wires_driven();
+    try {
+      netlist_->finalize();
+    } catch (const std::exception& e) {
+      lexer_.fail(module_kw, std::string("module failed elaboration: ") + e.what());
+    }
+    return std::move(*netlist_);
+  }
+
+ private:
+  struct NetInfo {
+    NetId id = kNoNet;
+    bool driven = false;  // by an instance output (inputs are driven implicitly)
+    VToken decl;          // declaration site, for undriven-wire diagnostics
+  };
+
+  struct OutputPort {
+    std::string name;
+    VToken decl;
+    bool assigned = false;
+  };
+
+  void parse_header() {
+    lexer_.expect_punct('(', "after the module name");
+    if (!lexer_.peek().is_punct(')')) {
+      for (;;) {
+        const VToken port = lexer_.expect_any_ident("in the module port list");
+        if (!header_port_names_.insert(port.text).second) {
+          lexer_.fail(port, "port '" + port.text + "' listed twice in the header");
+        }
+        header_ports_.push_back(port);
+        if (!lexer_.peek().is_punct(',')) break;
+        lexer_.take();
+      }
+    }
+    lexer_.expect_punct(')', "to close the module port list");
+    lexer_.expect_punct(';', "after the module header");
+  }
+
+  void parse_statement() {
+    const VToken& tok = lexer_.peek();
+    if (tok.kind == VTokenKind::kEof) {
+      lexer_.fail(tok, "unexpected end of file: missing 'endmodule'");
+    }
+    if (tok.kind == VTokenKind::kPragma) {
+      parse_pragma(lexer_.take());
+      return;
+    }
+    if (tok.is_punct('(')) {
+      parse_instance(parse_init_attribute());
+      return;
+    }
+    if (tok.is_ident("input")) {
+      parse_port_decl(/*is_input=*/true);
+      return;
+    }
+    if (tok.is_ident("output")) {
+      parse_port_decl(/*is_input=*/false);
+      return;
+    }
+    if (tok.is_ident("wire")) {
+      parse_wire_decl();
+      return;
+    }
+    if (tok.is_ident("assign")) {
+      parse_assign();
+      return;
+    }
+    parse_instance(/*init=*/std::nullopt);
+  }
+
+  void parse_port_decl(bool is_input) {
+    lexer_.take();  // 'input' / 'output'
+    for (;;) {
+      const VToken name = lexer_.expect_any_ident("in the port declaration");
+      if (is_input && name.text == "clk") {
+        if (clk_declared_) lexer_.fail(name, "clock 'clk' declared twice");
+        clk_declared_ = true;
+      } else if (is_input) {
+        declare_net(name, /*is_primary_input=*/true);
+      } else {
+        if (name.text == "clk") {
+          lexer_.fail(name, "'clk' is the implicit clock, not an output");
+        }
+        for (const OutputPort& port : outputs_) {
+          if (port.name == name.text) {
+            lexer_.fail(name, "output '" + name.text + "' declared twice");
+          }
+        }
+        outputs_.push_back(OutputPort{name.text, name, false});
+      }
+      declared_ports_.push_back(name);
+      if (!lexer_.peek().is_punct(',')) break;
+      lexer_.take();
+    }
+    lexer_.expect_punct(';', "after the port declaration");
+  }
+
+  void parse_wire_decl() {
+    lexer_.take();  // 'wire'
+    for (;;) {
+      const VToken name = lexer_.expect_any_ident("in the wire declaration");
+      declare_net(name, /*is_primary_input=*/false);
+      if (!lexer_.peek().is_punct(',')) break;
+      lexer_.take();
+    }
+    lexer_.expect_punct(';', "after the wire declaration");
+  }
+
+  void declare_net(const VToken& name, bool is_primary_input) {
+    if (name.text == "clk") {
+      lexer_.fail(name, "'clk' is the implicit clock and cannot be a net");
+    }
+    if (nets_.contains(name.text)) {
+      lexer_.fail(name, "net '" + name.text + "' declared twice");
+    }
+    NetInfo info;
+    info.id = is_primary_input ? netlist_->add_primary_input(name.text)
+                               : netlist_->add_net(name.text);
+    info.driven = is_primary_input;
+    info.decl = name;
+    nets_.emplace(name.text, info);
+  }
+
+  void parse_assign() {
+    lexer_.take();  // 'assign'
+    const VToken lhs = lexer_.expect_any_ident("as the assign target");
+    OutputPort* port = nullptr;
+    for (OutputPort& candidate : outputs_) {
+      if (candidate.name == lhs.text) {
+        port = &candidate;
+        break;
+      }
+    }
+    if (port == nullptr) {
+      lexer_.fail(lhs, "assign target '" + lhs.text +
+                           "' is not a declared output port (only output-port "
+                           "bindings are supported)");
+    }
+    if (port->assigned) {
+      lexer_.fail(lhs, "output '" + lhs.text + "' assigned twice");
+    }
+    lexer_.expect_punct('=', "in the assign statement");
+    NetId source = kNoNet;
+    if (lexer_.peek().kind == VTokenKind::kLiteral) {
+      const VToken literal = lexer_.take();
+      source = tie_net(literal.literal_value, literal);
+    } else {
+      const VToken rhs = lexer_.expect_any_ident("as the assign source");
+      source = resolve_net(rhs);
+    }
+    lexer_.expect_punct(';', "after the assign statement");
+    port->assigned = true;
+    netlist_->mark_primary_output(source, port->name);
+  }
+
+  /// `(* init = 1'b0|1'b1 *)` prefix of a DFF instance; nullopt when absent.
+  std::optional<bool> parse_init_attribute() {
+    lexer_.expect_punct('(', "to open an attribute");
+    lexer_.expect_punct('*', "to open an attribute");
+    const VToken name = lexer_.expect_any_ident("as the attribute name");
+    if (name.text != "init") {
+      lexer_.fail(name, "unknown attribute '" + name.text +
+                            "' (only (* init = 1'b0|1'b1 *) is supported)");
+    }
+    lexer_.expect_punct('=', "in the init attribute");
+    if (lexer_.peek().kind != VTokenKind::kLiteral) {
+      lexer_.fail(lexer_.peek(), "init attribute value must be 1'b0 or 1'b1, got " +
+                                     lexer_.peek().describe());
+    }
+    const bool value = lexer_.take().literal_value;
+    lexer_.expect_punct('*', "to close the attribute");
+    lexer_.expect_punct(')', "to close the attribute");
+    return value;
+  }
+
+  void parse_instance(std::optional<bool> init) {
+    const VToken type_tok = lexer_.expect_any_ident("as a cell type");
+    const LibraryCell* lib_cell = default_library().find_by_name(type_tok.text);
+    if (lib_cell == nullptr) {
+      lexer_.fail(type_tok, "unknown cell type '" + type_tok.text +
+                                "' (not in the NanGate45-style default library)");
+    }
+    const VToken name_tok = lexer_.expect_any_ident("as the instance name");
+    if (netlist_->find_cell(name_tok.text).has_value()) {
+      lexer_.fail(name_tok, "duplicate instance name '" + name_tok.text + "'");
+    }
+    if (init.has_value() && !is_sequential(lib_cell->func)) {
+      lexer_.fail(type_tok, "(* init *) attribute on non-sequential cell type '" +
+                                type_tok.text + "'");
+    }
+
+    const std::size_t arity = num_inputs(lib_cell->func);
+    std::vector<NetId> inputs(arity, kNoNet);
+    NetId output = kNoNet;
+    bool clock_connected = false;
+
+    lexer_.expect_punct('(', "to open the port connections");
+    if (!lexer_.peek().is_punct(')')) {
+      for (;;) {
+        parse_connection(*lib_cell, name_tok, inputs, output, clock_connected);
+        if (!lexer_.peek().is_punct(',')) break;
+        lexer_.take();
+      }
+    }
+    const VToken close = lexer_.expect_punct(')', "to close the port connections");
+    lexer_.expect_punct(';', "after the instance");
+
+    for (std::size_t i = 0; i < arity; ++i) {
+      if (inputs[i] == kNoNet) {
+        lexer_.fail(close, "pin '" +
+                               std::string(input_pin_name(lib_cell->func, i)) +
+                               "' of " + lib_cell->name + " instance '" +
+                               name_tok.text + "' is unconnected");
+      }
+    }
+    if (output == kNoNet) {
+      lexer_.fail(close, "output pin '" +
+                             std::string(output_pin_name(lib_cell->func)) +
+                             "' of instance '" + name_tok.text + "' is unconnected");
+    }
+    if (is_sequential(lib_cell->func) && !clock_connected) {
+      lexer_.fail(close, "DFF instance '" + name_tok.text +
+                             "' has no .CK(clk) connection");
+    }
+
+    Cell cell;
+    cell.name = name_tok.text;
+    cell.func = lib_cell->func;
+    cell.drive = lib_cell->drive;
+    cell.inputs = std::move(inputs);
+    cell.output = output;
+    cell.init_value = init.value_or(false);
+    netlist_->add_cell(std::move(cell));
+  }
+
+  void parse_connection(const LibraryCell& lib_cell, const VToken& inst_name,
+                        std::vector<NetId>& inputs, NetId& output,
+                        bool& clock_connected) {
+    lexer_.expect_punct('.', "to start a named port connection");
+    const VToken pin = lexer_.expect_any_ident("as a pin name");
+    lexer_.expect_punct('(', "after the pin name");
+
+    if (is_sequential(lib_cell.func) && pin.text == "CK") {
+      const VToken value = lexer_.expect_any_ident("as the clock connection");
+      if (value.text != "clk") {
+        lexer_.fail(value, "pin 'CK' must connect to the clock port 'clk'");
+      }
+      if (!clk_declared_) {
+        lexer_.fail(value, "clock 'clk' is not declared as an input");
+      }
+      if (clock_connected) {
+        lexer_.fail(pin, "pin 'CK' connected twice on instance '" +
+                             inst_name.text + "'");
+      }
+      clock_connected = true;
+      lexer_.expect_punct(')', "to close the port connection");
+      return;
+    }
+
+    if (pin.text == output_pin_name(lib_cell.func)) {
+      const VToken value = lexer_.expect_any_ident("as the output connection");
+      const NetId net = resolve_net(value);
+      NetInfo& info = nets_.at(value.text);
+      if (netlist_->net(net).pi_index >= 0) {
+        lexer_.fail(value, "primary input '" + value.text +
+                               "' cannot be driven by an instance output");
+      }
+      if (info.driven) {
+        lexer_.fail(value, "net '" + value.text + "' is driven more than once");
+      }
+      if (output != kNoNet) {
+        lexer_.fail(pin, "output pin '" + pin.text + "' connected twice on "
+                             "instance '" + inst_name.text + "'");
+      }
+      info.driven = true;
+      output = net;
+      lexer_.expect_punct(')', "to close the port connection");
+      return;
+    }
+
+    // Input pin.
+    std::size_t index = num_inputs(lib_cell.func);
+    for (std::size_t i = 0; i < num_inputs(lib_cell.func); ++i) {
+      if (pin.text == input_pin_name(lib_cell.func, i)) {
+        index = i;
+        break;
+      }
+    }
+    if (index == num_inputs(lib_cell.func)) {
+      lexer_.fail(pin, "cell " + lib_cell.name + " has no pin '" + pin.text + "'");
+    }
+    if (inputs[index] != kNoNet) {
+      lexer_.fail(pin, "pin '" + pin.text + "' connected twice on instance '" +
+                           inst_name.text + "'");
+    }
+    if (lexer_.peek().kind == VTokenKind::kLiteral) {
+      const VToken literal = lexer_.take();
+      inputs[index] = tie_net(literal.literal_value, literal);
+    } else {
+      const VToken value = lexer_.expect_any_ident("as the pin connection");
+      inputs[index] = resolve_net(value);
+    }
+    lexer_.expect_punct(')', "to close the port connection");
+  }
+
+  NetId resolve_net(const VToken& name) {
+    const auto it = nets_.find(name.text);
+    if (it == nets_.end()) {
+      if (name.text == "clk") {
+        lexer_.fail(name,
+                    "'clk' is the implicit clock and cannot drive a data pin");
+      }
+      lexer_.fail(name, "undeclared net '" + name.text + "'");
+    }
+    return it->second.id;
+  }
+
+  /// Shared CONST0/CONST1 driver for tie-off literals, created on demand.
+  NetId tie_net(bool value, const VToken& at) {
+    NetId& cached = tie_nets_[value ? 1 : 0];
+    if (cached != kNoNet) return cached;
+    const std::string cell_name(kTieCellName[value ? 1 : 0]);
+    const std::string net_name(kTieNetName[value ? 1 : 0]);
+    if (nets_.contains(net_name) || netlist_->find_cell(cell_name).has_value()) {
+      lexer_.fail(at, "cannot synthesize tie cell '" + cell_name +
+                          "': the name is already in use");
+    }
+    NetInfo info;
+    info.id = netlist_->add_net(net_name);
+    info.driven = true;
+    info.decl = at;
+    nets_.emplace(net_name, info);
+    Cell cell;
+    cell.name = cell_name;
+    cell.func = value ? CellFunc::kConst1 : CellFunc::kConst0;
+    cell.output = info.id;
+    netlist_->add_cell(std::move(cell));
+    cached = info.id;
+    return cached;
+  }
+
+  void parse_pragma(const VToken& pragma) {
+    const std::vector<std::string> fields = split_pragma_fields(pragma.text);
+    if (fields.empty() || fields[0] != "bus") {
+      lexer_.fail(pragma, "unknown pragma '// ffr:" + pragma.text +
+                              "' (only '// ffr:bus' is supported)");
+    }
+    if (fields.size() < 2) {
+      lexer_.fail(pragma, "'// ffr:bus' needs a bus name");
+    }
+    RegisterBus bus;
+    bus.name = fields[1];
+    for (std::size_t i = 2; i < fields.size(); ++i) {
+      const auto cell = netlist_->find_cell(fields[i]);
+      if (!cell.has_value()) {
+        lexer_.fail(pragma, "bus '" + bus.name + "' references unknown flip-flop '" +
+                                fields[i] + "'");
+      }
+      if (!is_sequential(netlist_->cell(*cell).func)) {
+        lexer_.fail(pragma, "bus '" + bus.name + "' references non-flip-flop '" +
+                                fields[i] + "'");
+      }
+      bus.flip_flops.push_back(*cell);
+    }
+    netlist_->add_register_bus(std::move(bus));
+  }
+
+  void check_ports_complete() {
+    for (const VToken& port : declared_ports_) {
+      if (!header_port_names_.contains(port.text)) {
+        lexer_.fail(port, "port '" + port.text +
+                              "' is declared but missing from the module header");
+      }
+    }
+    std::unordered_set<std::string> declared;
+    for (const VToken& port : declared_ports_) declared.insert(port.text);
+    for (const VToken& port : header_ports_) {
+      if (!declared.contains(port.text)) {
+        lexer_.fail(port, "header port '" + port.text +
+                              "' is never declared as input or output");
+      }
+    }
+    for (const OutputPort& port : outputs_) {
+      if (!port.assigned) {
+        lexer_.fail(port.decl, "output '" + port.name +
+                                   "' is never assigned (expected 'assign " +
+                                   port.name + " = <net>;')");
+      }
+    }
+  }
+
+  void check_wires_driven() {
+    // Report the first undriven wire in declaration order for determinism.
+    const NetInfo* undriven = nullptr;
+    for (const auto& [name, info] : nets_) {
+      if (info.driven) continue;
+      if (undriven == nullptr || info.id < undriven->id) undriven = &info;
+    }
+    if (undriven != nullptr) {
+      lexer_.fail(undriven->decl, "wire '" + netlist_->net(undriven->id).name +
+                                      "' is never driven");
+    }
+  }
+
+  VerilogLexer lexer_;
+  std::optional<Netlist> netlist_;
+  std::vector<VToken> header_ports_;
+  std::unordered_set<std::string> header_port_names_;
+  std::vector<VToken> declared_ports_;
+  std::vector<OutputPort> outputs_;
+  std::unordered_map<std::string, NetInfo> nets_;
+  bool clk_declared_ = false;
+  NetId tie_nets_[2] = {kNoNet, kNoNet};
+};
+
+}  // namespace
+
+Netlist read_verilog(std::string_view text, std::string_view filename) {
+  return Parser(text, filename).run();
+}
+
+Netlist read_verilog_file(const std::filesystem::path& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    throw std::runtime_error("read_verilog_file: cannot open " + path.string());
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  if (!file) {
+    throw std::runtime_error("read_verilog_file: read failed on " + path.string());
+  }
+  return read_verilog(buffer.str(), path.string());
+}
+
+}  // namespace ffr::netlist

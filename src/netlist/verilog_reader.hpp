@@ -1,0 +1,48 @@
+#pragma once
+/// \file verilog_reader.hpp
+/// \brief Structural Verilog frontend: parses the gate-level subset that
+/// netlist::to_verilog emits and elaborates it into a finalized Netlist, so
+/// campaigns can run against externally supplied designs instead of only the
+/// in-tree C++ generators.
+///
+/// Supported subset (see docs/ARCHITECTURE.md "Verilog frontend" for the
+/// grammar): one module with a port-name header; `input` / `output` / `wire`
+/// declarations (single names or comma lists); `assign <output> = <net>;`
+/// output bindings; cell instances of default_library() primitives with
+/// named port connections (any order); `1'b0` / `1'b1` tie-off literals on
+/// input pins (elaborated into shared CONST cells); `(* init = 1'b1 *)`
+/// power-on-state attributes on DFF instances; `// ffr:bus` register-bus
+/// metadata pragmas; plain and escaped identifiers; line and block comments.
+/// `clk` is the implicit single clock: it must feed every DFF's CK pin and
+/// nothing else.
+///
+/// Round-trip contract with the writer (the reader's differential oracle,
+/// tests/test_verilog_reader.cpp):
+///  - write -> read -> write is byte-identical for every netlist, and
+///  - read -> write -> read is structurally equal for every accepted file.
+///
+/// Every rejection is a std::runtime_error whose message starts with
+/// `<file>:<line>:<column>: error:` — truncated input, lexical errors,
+/// unknown cell types, undeclared or multiply-driven nets, duplicate
+/// instance/wire names, pin arity mismatches, unassigned outputs and
+/// undriven wires are all diagnosed, never crashes or silent acceptance.
+
+#include <filesystem>
+#include <string_view>
+
+#include "netlist/netlist.hpp"
+
+namespace ffr::netlist {
+
+/// Parses and elaborates one structural Verilog module. The returned netlist
+/// is finalized. `filename` only labels diagnostics.
+/// \throws std::runtime_error with a `<file>:<line>:<col>: error:` message
+///         on any lexical, syntactic or elaboration failure.
+[[nodiscard]] Netlist read_verilog(std::string_view text,
+                                   std::string_view filename = "<string>");
+
+/// Reads `path` and parses it with read_verilog().
+/// \throws std::runtime_error on I/O failure or any parse/elaboration error.
+[[nodiscard]] Netlist read_verilog_file(const std::filesystem::path& path);
+
+}  // namespace ffr::netlist

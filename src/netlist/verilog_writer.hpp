@@ -1,8 +1,9 @@
 #pragma once
 /// \file verilog_writer.hpp
 /// \brief Structural Verilog export of a netlist (NanGate45-style instance names).
-/// Useful for inspecting generated designs with external tools and for
-/// documenting exactly what circuit a campaign ran against.
+/// Useful for inspecting generated designs with external tools, for
+/// documenting exactly what circuit a campaign ran against, and as one half
+/// of the round-trip pair with netlist::read_verilog (verilog_reader.hpp).
 
 #include <filesystem>
 #include <string>
@@ -11,7 +12,16 @@
 
 namespace ffr::netlist {
 
-/// Render the netlist as a structural Verilog module.
+/// Render the netlist as a structural Verilog module in canonical order
+/// (ports/wires/instances/bus pragmas in creation order), deterministically:
+/// the same netlist always yields the same bytes, and
+/// `to_verilog(read_verilog(to_verilog(n)))` is byte-identical to
+/// `to_verilog(n)`. DFF power-on state is emitted as `(* init = 1'b1 *)`
+/// attributes and register buses as `// ffr:bus` pragma comments so the
+/// reader can rebuild the full in-memory representation.
+/// \throws std::invalid_argument when a name cannot be expressed as a
+///         (possibly escaped) Verilog identifier (empty, or containing
+///         whitespace / a backslash).
 [[nodiscard]] std::string to_verilog(const Netlist& netlist);
 
 /// Write to a file; throws std::runtime_error on I/O failure.

@@ -1,0 +1,68 @@
+#include "sim/testbench.hpp"
+
+#include <stdexcept>
+
+namespace ffr::sim {
+
+namespace {
+
+netlist::NetId map_net(const netlist::Netlist& from, const netlist::Netlist& to,
+                       netlist::NetId net, const char* role) {
+  if (net == netlist::kNoNet) return netlist::kNoNet;
+  if (net >= from.num_nets()) {
+    throw std::invalid_argument(std::string("retarget_testbench: ") + role +
+                                " net id out of range in the source netlist");
+  }
+  const std::string& name = from.net(net).name;
+  const auto mapped = to.find_net(name);
+  if (!mapped.has_value()) {
+    throw std::invalid_argument(std::string("retarget_testbench: ") + role +
+                                " net '" + name + "' has no counterpart in '" +
+                                to.name() + "'");
+  }
+  return *mapped;
+}
+
+}  // namespace
+
+Testbench retarget_testbench(const Testbench& tb, const netlist::Netlist& from,
+                             const netlist::Netlist& to) {
+  const auto from_pis = from.primary_inputs();
+  const auto to_pis = to.primary_inputs();
+  if (from_pis.size() != to_pis.size()) {
+    throw std::invalid_argument(
+        "retarget_testbench: primary input counts differ (" +
+        std::to_string(from_pis.size()) + " vs " + std::to_string(to_pis.size()) +
+        ")");
+  }
+  for (std::size_t i = 0; i < from_pis.size(); ++i) {
+    if (from.net(from_pis[i]).name != to.net(to_pis[i]).name) {
+      throw std::invalid_argument(
+          "retarget_testbench: primary input " + std::to_string(i) + " is '" +
+          from.net(from_pis[i]).name + "' in '" + from.name() + "' but '" +
+          to.net(to_pis[i]).name + "' in '" + to.name() + "'");
+    }
+  }
+
+  Testbench out = tb;  // stimulus is PI-position indexed, so it carries over
+  for (Loopback& loop : out.loopbacks) {
+    loop.from_net = map_net(from, to, loop.from_net, "loopback source");
+    loop.to_input = map_net(from, to, loop.to_input, "loopback target");
+    if (to.net(loop.to_input).pi_index < 0) {
+      throw std::invalid_argument("retarget_testbench: loopback target '" +
+                                  to.net(loop.to_input).name +
+                                  "' is not a primary input of '" + to.name() +
+                                  "'");
+    }
+  }
+  out.monitor.valid = map_net(from, to, tb.monitor.valid, "monitor valid");
+  out.monitor.sop = map_net(from, to, tb.monitor.sop, "monitor sop");
+  out.monitor.eop = map_net(from, to, tb.monitor.eop, "monitor eop");
+  out.monitor.err = map_net(from, to, tb.monitor.err, "monitor err");
+  for (netlist::NetId& data : out.monitor.data) {
+    data = map_net(from, to, data, "monitor data");
+  }
+  return out;
+}
+
+}  // namespace ffr::sim

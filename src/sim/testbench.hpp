@@ -78,4 +78,17 @@ struct Frame {
 
 using FrameList = std::vector<Frame>;
 
+/// Rebinds a testbench written against `from` onto `to`, a netlist with the
+/// same interface (e.g. one re-imported from a Verilog dump, whose net ids
+/// differ even though every name survives): loopback and packet-monitor
+/// NetIds are resolved by net name in `to`, and the stimulus is carried over
+/// after checking that both netlists expose the same primary inputs in the
+/// same order. This is what makes an imported design a first-class campaign
+/// target — the retargeted bench replays bit-identically on `to`.
+/// \throws std::invalid_argument when the primary-input interfaces differ or
+///         a referenced net has no same-named counterpart in `to`.
+[[nodiscard]] Testbench retarget_testbench(const Testbench& tb,
+                                           const netlist::Netlist& from,
+                                           const netlist::Netlist& to);
+
 }  // namespace ffr::sim

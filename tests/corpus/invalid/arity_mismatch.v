@@ -1,0 +1,9 @@
+// Rejected: NAND2 has pins A1 and A2; pin A2 is left unconnected.
+module arity_mismatch (clk, a, y);
+  input clk;
+  input a;
+  output y;
+  wire n1;
+  assign y = n1;
+  NAND2_X1 u1 (.A1(a), .ZN(n1));
+endmodule

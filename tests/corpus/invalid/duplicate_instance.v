@@ -1,0 +1,11 @@
+// Rejected: two instances share the name 'u1' — cell names key the fault
+// campaign's per-flip-flop results and must be unique.
+module duplicate_instance (clk, a, y);
+  input clk;
+  input a;
+  output y;
+  wire n1, n2;
+  assign y = n2;
+  INV_X1 u1 (.A(a), .ZN(n1));
+  INV_X1 u1 (.A(n1), .ZN(n2));
+endmodule

@@ -1,0 +1,10 @@
+// Rejected: net 'n1' is driven by two instance outputs.
+module multiply_driven (clk, a, y);
+  input clk;
+  input a;
+  output y;
+  wire n1;
+  assign y = n1;
+  INV_X1 u1 (.A(a), .ZN(n1));
+  BUF_X1 u2 (.A(a), .ZN(n1));
+endmodule

@@ -1,0 +1,9 @@
+// Rejected: the file ends mid-instance (simulates a truncated download or
+// an interrupted write). Expected diagnostic: "... got end of file".
+module truncated (clk, a, y);
+  input clk;
+  input a;
+  output y;
+  wire n1;
+  assign y = n1;
+  INV_X1 u1 (.A(a)

@@ -1,0 +1,10 @@
+// Rejected: 'ghost' is used as a pin connection but never declared as an
+// input or wire (single-pass reader: declarations must precede use).
+module undeclared_net (clk, a, y);
+  input clk;
+  input a;
+  output y;
+  wire n1;
+  assign y = n1;
+  INV_X1 u1 (.A(ghost), .ZN(n1));
+endmodule

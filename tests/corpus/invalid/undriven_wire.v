@@ -1,0 +1,10 @@
+// Rejected: wire 'dangling' has no driver — the netlist invariant (every
+// net is a primary input or driven by exactly one cell) would not hold.
+module undriven_wire (clk, a, y);
+  input clk;
+  input a;
+  output y;
+  wire n1, dangling;
+  assign y = n1;
+  INV_X1 u1 (.A(a), .ZN(n1));
+endmodule

@@ -1,0 +1,9 @@
+// Rejected: NAND9_X7 is not a cell of the NanGate45-style default library.
+module unknown_cell (clk, a, y);
+  input clk;
+  input a;
+  output y;
+  wire n1;
+  assign y = n1;
+  NAND9_X7 u1 (.A1(a), .ZN(n1));
+endmodule

@@ -1,0 +1,11 @@
+// Smallest accepted shape: purely combinational, no clk consumer (clk is
+// still declared because the writer always emits it), one AOI21 with its
+// three distinct pin names.
+module min_comb (clk, a, b, c, y);
+  input clk;
+  input a, b, c;
+  output y;
+  wire n1;
+  assign y = n1;
+  AOI21_X4 u0 (.A1(a), .A2(b), .B(c), .ZN(n1));
+endmodule

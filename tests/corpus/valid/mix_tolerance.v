@@ -1,0 +1,21 @@
+// Deliberately non-canonical structural Verilog: block comments, mixed
+// whitespace, comma declaration lists, out-of-order named pin connections,
+// tie-off literals, escaped identifiers, an init attribute and a
+// register-bus pragma. The reader must accept all of it; the writer then
+// re-emits a canonical form that must be byte-stable.
+module mix_tolerance (clk, go,
+    \din[0] , y, \state_out );
+  input clk;
+  input go, \din[0] ;
+  output y, \state_out ;
+  wire n1, n2 /* inline comment */ , sel;
+  wire q0, q1;
+  assign y = n2;
+  assign \state_out  = q1;
+  INV_X1 u_inv (.A(go), .ZN(n1));
+  AND2_X2 u_sel (.A2(\din[0] ), .A1(go), .ZN(sel));
+  MUX2_X1 u_mux (.S(sel), .B(1'b1), .ZN(n2), .A(n1));
+  (* init = 1'b1 *) DFF_X1 q0_reg (.D(n2), .CK(clk), .Q(q0));
+  DFF_X2 q1_reg (.Q(q1), .D(q0), .CK(clk));
+  // ffr:bus state q0_reg q1_reg
+endmodule

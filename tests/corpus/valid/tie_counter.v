@@ -1,0 +1,19 @@
+// A 2-bit enable counter: feedback through flip-flops (legal sequential
+// loop), a powered-on LSB via (* init = 1'b1 *), upsized DFF_X2 registers,
+// a shared 1'b0 tie-off and a bus pragma with an escaped bus name.
+module tie_counter (clk, en, \count[0] , \count[1] , zero);
+  input clk;
+  input en;
+  output \count[0] , \count[1] , zero;
+  wire d0, d1, q0, q1, carry, zn;
+  assign \count[0]  = q0;
+  assign \count[1]  = q1;
+  assign zero = zn;
+  XOR2_X1 u_t0 (.A1(q0), .A2(en), .ZN(d0));
+  AND2_X1 u_c (.A1(q0), .A2(en), .ZN(carry));
+  XOR2_X1 u_t1 (.A1(q1), .A2(carry), .ZN(d1));
+  NOR2_X1 u_z (.A1(q1), .A2(1'b0), .ZN(zn));
+  (* init = 1'b1 *) DFF_X2 r0 (.D(d0), .CK(clk), .Q(q0));
+  DFF_X2 r1 (.D(d1), .CK(clk), .Q(q1));
+  // ffr:bus \count  r0 r1
+endmodule

@@ -10,8 +10,11 @@
 #include "circuits/relay_core.hpp"
 #include "fault/campaign.hpp"
 #include "fault/engine.hpp"
+#include "netlist/verilog_reader.hpp"
+#include "netlist/verilog_writer.hpp"
 #include "rtl/crc.hpp"
 #include "sim/runner.hpp"
+#include "sim/testbench.hpp"
 
 namespace ffr::circuits {
 namespace {
@@ -233,6 +236,50 @@ TEST_F(RelayFixture, LaneWidthDifferentialAtPaperScale) {
     }
   }
   sim::force_native_lane_width_for_testing(sim::LaneWidth::kAuto);
+}
+
+TEST_F(RelayFixture, ImportedNetlistCampaignBitExact) {
+  // The Verilog frontend's paper-scale differential: dump the >= 947-FF
+  // relay design, read it back, and require campaigns on the imported
+  // netlist to be bit-identical to the flat reference on the in-memory
+  // original — at the scalar k64 width and at kAuto (widest SIMD block).
+  const std::string text = netlist::to_verilog(core->netlist);
+  const netlist::Netlist imported = netlist::read_verilog(text, "relay_core.v");
+  std::string why;
+  ASSERT_TRUE(netlist::structurally_equal(core->netlist, imported, &why)) << why;
+  ASSERT_EQ(netlist::to_verilog(imported), text);
+
+  const sim::Testbench tb =
+      sim::retarget_testbench(bench->tb, core->netlist, imported);
+  const sim::GoldenResult golden_orig = sim::run_golden(core->netlist, bench->tb);
+  const sim::GoldenResult golden_imp = sim::run_golden(imported, tb);
+  ASSERT_EQ(golden_orig.frames.size(), golden_imp.frames.size());
+  for (std::size_t f = 0; f < golden_orig.frames.size(); ++f) {
+    ASSERT_EQ(golden_orig.frames[f].bytes, golden_imp.frames[f].bytes) << f;
+    ASSERT_EQ(golden_orig.frames[f].err, golden_imp.frames[f].err) << f;
+  }
+
+  fault::CampaignConfig config;
+  config.injections_per_ff = 24;
+  const std::size_t n = core->netlist.num_flip_flops();
+  for (std::size_t i = 0; i < n; i += 67) config.ff_subset.push_back(i);
+
+  const fault::CampaignResult flat =
+      fault::run_campaign(core->netlist, bench->tb, golden_orig, config);
+  fault::CampaignEngine engine(imported, tb);
+  for (const sim::LaneWidth width : {sim::LaneWidth::k64, sim::LaneWidth::kAuto}) {
+    SCOPED_TRACE(std::string("width ") + sim::to_string(width));
+    fault::CampaignConfig wide = config;
+    wide.lane_width = width;
+    const fault::CampaignResult batched = engine.run(wide);
+    ASSERT_EQ(flat.per_ff.size(), batched.per_ff.size());
+    for (std::size_t i = 0; i < flat.per_ff.size(); ++i) {
+      EXPECT_EQ(flat.per_ff[i].name, batched.per_ff[i].name);
+      EXPECT_EQ(flat.per_ff[i].classes.counts, batched.per_ff[i].classes.counts)
+          << "ff " << flat.per_ff[i].name;
+    }
+    EXPECT_EQ(flat.fdr_vector(), batched.fdr_vector());
+  }
 }
 
 }  // namespace

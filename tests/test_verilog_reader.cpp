@@ -1,0 +1,616 @@
+// Round-trip and rejection suite for the structural Verilog frontend
+// (netlist/verilog_reader + verilog_lexer), with the writer as the
+// differential oracle:
+//  - write -> read -> write must be byte-identical for every in-tree circuit
+//    (mac_core, pipeline_core, relay_core) and seeded random_circuit shapes;
+//  - read -> write -> read must be structurally equal for every accepted
+//    file, including the hand-written tests/corpus fixtures;
+//  - an imported design must be a first-class campaign citizen: golden
+//    frames and flat/batched campaign FDR bit-identical to the in-memory
+//    original (the paper-scale relay differential lives in
+//    tests/test_relay_core.cpp under the "scale" label);
+//  - every malformed input is rejected with a positioned
+//    `<file>:<line>:<col>: error:` diagnostic — never a crash or silent
+//    acceptance (this suite also runs under the ASan/UBSan CI leg).
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "circuits/mac_core.hpp"
+#include "circuits/mac_testbench.hpp"
+#include "circuits/pipeline_core.hpp"
+#include "circuits/random_circuit.hpp"
+#include "circuits/relay_core.hpp"
+#include "fault/campaign.hpp"
+#include "fault/engine.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/verilog_lexer.hpp"
+#include "netlist/verilog_reader.hpp"
+#include "netlist/verilog_writer.hpp"
+#include "sim/runner.hpp"
+#include "sim/testbench.hpp"
+
+namespace ffr::netlist {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+// Full round-trip property: the emission reads back structurally identical
+// (same creation order — every in-tree generator declares its primary inputs
+// first, so even net ids survive) and re-emits byte-for-byte.
+void expect_round_trip(const Netlist& nl) {
+  const std::string text = to_verilog(nl);
+  const Netlist reread = read_verilog(text, nl.name() + ".v");
+  std::string why;
+  EXPECT_TRUE(structurally_equal(nl, reread, &why)) << nl.name() << ": " << why;
+  EXPECT_EQ(to_verilog(reread), text) << nl.name();
+}
+
+// Rejection helper: parsing must throw std::runtime_error whose message
+// carries a file:line:col position; returns the message for content checks.
+std::string rejection_of(std::string_view source) {
+  try {
+    (void)read_verilog(source, "bad.v");
+  } catch (const std::runtime_error& e) {
+    const std::string message = e.what();
+    EXPECT_TRUE(message.starts_with("bad.v:")) << message;
+    EXPECT_NE(message.find(": error: "), std::string::npos) << message;
+    // "<file>:" must be followed by "<line>:<col>".
+    const std::size_t line_begin = std::string("bad.v:").size();
+    EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(message[line_begin])))
+        << message;
+    return message;
+  }
+  ADD_FAILURE() << "input was accepted but should have been rejected:\n"
+                << source;
+  return {};
+}
+
+void expect_rejected(std::string_view source, std::string_view what) {
+  const std::string message = rejection_of(source);
+  EXPECT_NE(message.find(what), std::string::npos)
+      << "diagnostic '" << message << "' does not mention '" << what << "'";
+}
+
+void expect_campaigns_bit_identical(const fault::CampaignResult& a,
+                                    const fault::CampaignResult& b) {
+  ASSERT_EQ(a.per_ff.size(), b.per_ff.size());
+  for (std::size_t i = 0; i < a.per_ff.size(); ++i) {
+    EXPECT_EQ(a.per_ff[i].name, b.per_ff[i].name);
+    EXPECT_EQ(a.per_ff[i].classes.counts, b.per_ff[i].classes.counts)
+        << "ff " << a.per_ff[i].name;
+  }
+  EXPECT_EQ(a.fdr_vector(), b.fdr_vector());
+  EXPECT_EQ(a.total_injections, b.total_injections);
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip properties over the in-tree circuits
+// ---------------------------------------------------------------------------
+
+TEST(VerilogRoundTrip, MacCoreWriteReadWriteByteIdentical) {
+  expect_round_trip(circuits::build_mac_core().netlist);
+}
+
+TEST(VerilogRoundTrip, PipelineCoreWriteReadWriteByteIdentical) {
+  expect_round_trip(circuits::build_pipeline_core().netlist);
+}
+
+TEST(VerilogRoundTrip, RelayCoreWriteReadWriteByteIdentical) {
+  // Paper-scale netlist (>= 1000 FFs); only built and parsed here — the
+  // campaign differential at this scale is in test_relay_core.cpp.
+  expect_round_trip(circuits::build_relay_core().netlist);
+}
+
+TEST(VerilogRoundTrip, SeededRandomCircuits) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    circuits::RandomCircuitConfig config;
+    config.seed = seed;
+    config.num_gates = 30 + 17 * static_cast<std::size_t>(seed % 5);
+    config.num_flip_flops = 4 + static_cast<std::size_t>(seed % 7);
+    config.bus_probability = (seed % 2 == 0) ? 0.8 : 0.2;
+    expect_round_trip(circuits::build_random_circuit(config));
+  }
+}
+
+TEST(VerilogRoundTrip, InitValuesAndBusesSurvive) {
+  NetlistBuilder bld("init_keeper");
+  const NetId a = bld.input("a");
+  auto ffs = bld.register_bus("state", std::vector<NetId>{a, bld.inv(a)}, 0b01);
+  FlipFlop lone = bld.dff(ffs[1].q, true, "lone");
+  bld.output(lone.q, "y");
+  const Netlist nl = bld.build();
+
+  const Netlist reread = read_verilog(to_verilog(nl), "init_keeper.v");
+  ASSERT_EQ(reread.num_flip_flops(), 3u);
+  EXPECT_TRUE(reread.cell(reread.flip_flops()[0]).init_value);   // init bit 0
+  EXPECT_FALSE(reread.cell(reread.flip_flops()[1]).init_value);  // init bit 1
+  EXPECT_TRUE(reread.cell(*reread.find_cell("lone")).init_value);
+  ASSERT_EQ(reread.register_buses().size(), 1u);
+  EXPECT_EQ(reread.register_buses()[0].name, "state");
+  ASSERT_EQ(reread.register_buses()[0].flip_flops.size(), 2u);
+  EXPECT_EQ(reread.cell(reread.register_buses()[0].flip_flops[1]).name,
+            "state[1]");
+}
+
+TEST(VerilogRoundTrip, EscapedIdentifiersSurvive) {
+  NetlistBuilder bld("escapes");
+  const NetId a = bld.input("fancy[0]");
+  const NetId n = bld.gate(CellFunc::kInv, {a}, "u.with-dots");
+  bld.output(n, "out[1]");
+  const Netlist nl = bld.build();
+  const std::string text = to_verilog(nl);
+  EXPECT_NE(text.find("\\fancy[0] "), std::string::npos);
+  EXPECT_NE(text.find("\\u.with-dots "), std::string::npos);
+  expect_round_trip(nl);
+}
+
+TEST(VerilogWriter, RejectsUnrepresentableNames) {
+  NetlistBuilder bld("bad names");  // module name with a space
+  const NetId a = bld.input("a");
+  bld.output(bld.inv(a), "y");
+  const Netlist nl = bld.build();
+  EXPECT_THROW((void)to_verilog(nl), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Lexer tolerance: the reader accepts more than the writer emits
+// ---------------------------------------------------------------------------
+
+TEST(VerilogLexerTolerance, CommentsWhitespaceAndMultiLineStatements) {
+  const std::string source =
+      "/* block comment\n   spanning lines */\n"
+      "module   tolerant (clk, a, y);// trailing comment\n"
+      "\tinput clk;\r\n"
+      "  input a;\n"
+      "  output y;\n"
+      "  wire n1 /* inline */ , n2;\n"
+      "  assign y =\n"
+      "      n2;\n"
+      "  INV_X1 u1 (.A(a), .ZN(n1));\n"
+      "  BUF_X4 u2 (\n"
+      "      .A(n1),\n"
+      "      .ZN(n2)\n"
+      "  );\n"
+      "endmodule\n"
+      "// trailing comment after endmodule is fine\n";
+  const Netlist nl = read_verilog(source, "tolerant.v");
+  EXPECT_EQ(nl.name(), "tolerant");
+  EXPECT_EQ(nl.num_cells(), 2u);
+  EXPECT_EQ(nl.primary_inputs().size(), 1u);
+  // The accepted file normalizes: read -> write -> read is structurally
+  // stable even though the input formatting is not canonical.
+  const Netlist again = read_verilog(to_verilog(nl), "tolerant2.v");
+  std::string why;
+  EXPECT_TRUE(structurally_equal(nl, again, &why)) << why;
+}
+
+TEST(VerilogLexerTolerance, TieOffLiteralsElaborateToSharedConstCells) {
+  const std::string source =
+      "module ties (clk, a, y, z);\n"
+      "  input clk;\n"
+      "  input a;\n"
+      "  output y;\n"
+      "  output z;\n"
+      "  wire n1, n2;\n"
+      "  assign y = n1;\n"
+      "  assign z = n2;\n"
+      "  AND2_X1 u1 (.A1(a), .A2(1'b1), .ZN(n1));\n"
+      "  OR2_X1 u2 (.A1(1'b1), .A2(1'b0), .ZN(n2));\n"
+      "endmodule\n";
+  const Netlist nl = read_verilog(source, "ties.v");
+  // 1'b1 used twice -> one shared CONST1 cell; 1'b0 once -> one CONST0.
+  std::size_t const_cells = 0;
+  for (const Cell& cell : nl.cells()) {
+    if (is_constant(cell.func)) ++const_cells;
+  }
+  EXPECT_EQ(const_cells, 2u);
+  ASSERT_TRUE(nl.find_cell("$ffr_tie1").has_value());
+  ASSERT_TRUE(nl.find_cell("$ffr_tie0").has_value());
+  // Ties re-emit as escaped-identifier CONST instances and stay stable.
+  const Netlist again = read_verilog(to_verilog(nl), "ties2.v");
+  std::string why;
+  EXPECT_TRUE(structurally_equal(nl, again, &why)) << why;
+  EXPECT_EQ(to_verilog(again), to_verilog(nl));
+}
+
+TEST(VerilogLexerTolerance, AnyConnectionOrderAndCommaDeclLists) {
+  const std::string source =
+      "module anyorder (clk, a, b, y);\n"
+      "  input clk;\n"
+      "  input a, b;\n"
+      "  output y;\n"
+      "  wire n1, q;\n"
+      "  assign y = q;\n"
+      "  AOI21_X2 u1 (.B(b), .ZN(n1), .A2(b), .A1(a));\n"
+      "  DFF_X1 r0 (.Q(q), .CK(clk), .D(n1));\n"
+      "endmodule\n";
+  const Netlist nl = read_verilog(source, "anyorder.v");
+  const Cell& aoi = nl.cell(*nl.find_cell("u1"));
+  EXPECT_EQ(nl.net(aoi.inputs[0]).name, "a");   // A1
+  EXPECT_EQ(nl.net(aoi.inputs[1]).name, "b");   // A2
+  EXPECT_EQ(nl.net(aoi.inputs[2]).name, "b");   // B
+  EXPECT_EQ(aoi.drive, DriveStrength::kX2);
+  EXPECT_EQ(nl.net(nl.cell(*nl.find_cell("r0")).output).name, "q");
+}
+
+TEST(VerilogLexer, TokensCarryPositions) {
+  VerilogLexer lexer("module \\m[0] \n  (*", "lex.v");
+  VToken tok = lexer.take();
+  EXPECT_TRUE(tok.is_ident("module"));
+  EXPECT_EQ(tok.line, 1u);
+  EXPECT_EQ(tok.column, 1u);
+  tok = lexer.take();
+  EXPECT_EQ(tok.kind, VTokenKind::kEscapedId);
+  EXPECT_EQ(tok.text, "m[0]");
+  EXPECT_EQ(tok.column, 8u);
+  tok = lexer.take();
+  EXPECT_TRUE(tok.is_punct('('));
+  EXPECT_EQ(tok.line, 2u);
+  EXPECT_EQ(tok.column, 3u);
+  tok = lexer.take();
+  EXPECT_TRUE(tok.is_punct('*'));
+  EXPECT_EQ(lexer.peek().kind, VTokenKind::kEof);
+}
+
+TEST(VerilogLexer, PragmaCommentsSurfaceOrdinaryCommentsDoNot) {
+  VerilogLexer lexer("wire // plain comment\n//  ffr:bus b r0 r1\n;", "lex.v");
+  EXPECT_TRUE(lexer.take().is_ident("wire"));
+  const VToken pragma = lexer.take();
+  ASSERT_EQ(pragma.kind, VTokenKind::kPragma);
+  EXPECT_EQ(pragma.text, "bus b r0 r1");
+  EXPECT_EQ(pragma.line, 2u);
+  EXPECT_TRUE(lexer.take().is_punct(';'));
+}
+
+TEST(VerilogLexer, SplitPragmaFieldsStripsEscapes) {
+  const auto fields = split_pragma_fields("bus \\state[1:0]   \\r[0]  r1");
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "bus");
+  EXPECT_EQ(fields[1], "state[1:0]");
+  EXPECT_EQ(fields[2], "r[0]");
+  EXPECT_EQ(fields[3], "r1");
+}
+
+// ---------------------------------------------------------------------------
+// Malformed-input suite: every diagnostic path, positioned, no crashes
+// ---------------------------------------------------------------------------
+
+namespace {
+const char* kPreamble =
+    "module m (clk, a, y);\n"
+    "  input clk;\n"
+    "  input a;\n"
+    "  output y;\n";
+}  // namespace
+
+TEST(VerilogErrors, TruncatedFile) {
+  expect_rejected("module m (clk, a", "got end of file");
+  expect_rejected(std::string(kPreamble) + "  wire n1;\n  INV_X1 u1 (.A(a),",
+                  "got end of file");
+  expect_rejected(std::string(kPreamble) + "  wire n1;\n",
+                  "missing 'endmodule'");
+  expect_rejected("", "expected 'module'");
+}
+
+TEST(VerilogErrors, LexicalErrors) {
+  expect_rejected("module m (clk); /* never closed", "unterminated block comment");
+  expect_rejected(std::string(kPreamble) + "  wire 2bad;\n",
+                  "only 1'b0 and 1'b1");
+  expect_rejected(std::string(kPreamble) + "  INV_X1 u (.A(1'hF), .ZN(y));\n",
+                  "only 1'b0 and 1'b1");
+  expect_rejected("module m #(parameter W = 4);", "unexpected character '#'");
+  expect_rejected("module \\\n", "empty escaped identifier");
+}
+
+TEST(VerilogErrors, UnknownCellType) {
+  expect_rejected(std::string(kPreamble) +
+                      "  wire n1;\n  assign y = n1;\n"
+                      "  NAND9_X7 u1 (.A1(a), .ZN(n1));\nendmodule\n",
+                  "unknown cell type 'NAND9_X7'");
+}
+
+TEST(VerilogErrors, UndeclaredNet) {
+  expect_rejected(std::string(kPreamble) +
+                      "  wire n1;\n  assign y = n1;\n"
+                      "  INV_X1 u1 (.A(ghost), .ZN(n1));\nendmodule\n",
+                  "undeclared net 'ghost'");
+  expect_rejected(std::string(kPreamble) + "  assign y = ghost;\nendmodule\n",
+                  "undeclared net 'ghost'");
+}
+
+TEST(VerilogErrors, UndrivenWire) {
+  const std::string message = rejection_of(std::string(kPreamble) +
+                                           "  wire n1, dangling;\n"
+                                           "  assign y = n1;\n"
+                                           "  INV_X1 u1 (.A(a), .ZN(n1));\n"
+                                           "endmodule\n");
+  EXPECT_NE(message.find("wire 'dangling' is never driven"), std::string::npos)
+      << message;
+  // The position points at the declaration on line 5.
+  EXPECT_TRUE(message.starts_with("bad.v:5:")) << message;
+}
+
+TEST(VerilogErrors, MultiplyDrivenNet) {
+  expect_rejected(std::string(kPreamble) +
+                      "  wire n1;\n  assign y = n1;\n"
+                      "  INV_X1 u1 (.A(a), .ZN(n1));\n"
+                      "  BUF_X1 u2 (.A(a), .ZN(n1));\nendmodule\n",
+                  "net 'n1' is driven more than once");
+  expect_rejected(std::string(kPreamble) +
+                      "  wire n1;\n  assign y = n1;\n"
+                      "  INV_X1 u1 (.A(n1), .ZN(a));\nendmodule\n",
+                  "primary input 'a' cannot be driven");
+}
+
+TEST(VerilogErrors, DuplicateNames) {
+  expect_rejected(std::string(kPreamble) +
+                      "  wire n1;\n  assign y = n1;\n"
+                      "  INV_X1 u1 (.A(a), .ZN(n1));\n"
+                      "  wire n2;\n  INV_X1 u1 (.A(a), .ZN(n2));\nendmodule\n",
+                  "duplicate instance name 'u1'");
+  expect_rejected(std::string(kPreamble) + "  wire n1, n1;\n",
+                  "net 'n1' declared twice");
+  expect_rejected("module m (clk, a, a);\n", "listed twice in the header");
+}
+
+TEST(VerilogErrors, ArityAndPinMismatches) {
+  expect_rejected(std::string(kPreamble) +
+                      "  wire n1;\n  assign y = n1;\n"
+                      "  NAND2_X1 u1 (.A1(a), .ZN(n1));\nendmodule\n",
+                  "pin 'A2' of NAND2_X1 instance 'u1' is unconnected");
+  expect_rejected(std::string(kPreamble) +
+                      "  wire n1;\n  assign y = n1;\n"
+                      "  INV_X1 u1 (.A(a), .B(a), .ZN(n1));\nendmodule\n",
+                  "cell INV_X1 has no pin 'B'");
+  expect_rejected(std::string(kPreamble) +
+                      "  wire n1;\n  assign y = n1;\n"
+                      "  INV_X1 u1 (.A(a), .A(a), .ZN(n1));\nendmodule\n",
+                  "pin 'A' connected twice");
+  expect_rejected(std::string(kPreamble) +
+                      "  wire n1;\n  assign y = n1;\n"
+                      "  INV_X1 u1 (.A(a));\nendmodule\n",
+                  "output pin 'ZN' of instance 'u1' is unconnected");
+  expect_rejected(std::string(kPreamble) +
+                      "  wire n1;\n  assign y = n1;\n"
+                      "  INV_X1 u1 (.A(a), .ZN(1'b0));\nendmodule\n",
+                  "expected identifier as the output connection");
+}
+
+TEST(VerilogErrors, ClockDiscipline) {
+  expect_rejected(std::string(kPreamble) +
+                      "  wire q;\n  assign y = q;\n"
+                      "  DFF_X1 r0 (.D(a), .Q(q));\nendmodule\n",
+                  "has no .CK(clk) connection");
+  expect_rejected(std::string(kPreamble) +
+                      "  wire q;\n  assign y = q;\n"
+                      "  DFF_X1 r0 (.D(a), .CK(a), .Q(q));\nendmodule\n",
+                  "pin 'CK' must connect to the clock port 'clk'");
+  expect_rejected(std::string(kPreamble) +
+                      "  wire n1;\n  assign y = n1;\n"
+                      "  INV_X1 u1 (.A(clk), .ZN(n1));\nendmodule\n",
+                  "'clk' is the implicit clock and cannot drive a data pin");
+  expect_rejected(std::string(kPreamble) + "  wire clk;\n",
+                  "'clk' is the implicit clock and cannot be a net");
+  expect_rejected("module m (a, y);\n  input a;\n  output y;\n"
+                  "  wire q;\n  assign y = q;\n"
+                  "  DFF_X1 r0 (.D(a), .CK(clk), .Q(q));\nendmodule\n",
+                  "clock 'clk' is not declared as an input");
+}
+
+TEST(VerilogErrors, OutputPortDiscipline) {
+  expect_rejected(std::string(kPreamble) +
+                      "  wire n1;\n  INV_X1 u1 (.A(a), .ZN(n1));\nendmodule\n",
+                  "output 'y' is never assigned");
+  expect_rejected(std::string(kPreamble) +
+                      "  wire n1;\n  assign y = n1;\n  assign y = n1;\n"
+                      "  INV_X1 u1 (.A(a), .ZN(n1));\nendmodule\n",
+                  "output 'y' assigned twice");
+  expect_rejected(std::string(kPreamble) +
+                      "  wire n1;\n  assign y = n1;\n  assign n1 = a;\n"
+                      "endmodule\n",
+                  "not a declared output port");
+}
+
+TEST(VerilogErrors, PortHeaderMismatches) {
+  expect_rejected("module m (clk, a, y, phantom);\n"
+                  "  input clk;\n  input a;\n  output y;\n"
+                  "  wire n1;\n  assign y = n1;\n"
+                  "  INV_X1 u1 (.A(a), .ZN(n1));\nendmodule\n",
+                  "header port 'phantom' is never declared");
+  expect_rejected("module m (clk, y);\n"
+                  "  input clk;\n  input a;\n  output y;\n"
+                  "  wire n1;\n  assign y = n1;\n"
+                  "  INV_X1 u1 (.A(a), .ZN(n1));\nendmodule\n",
+                  "port 'a' is declared but missing from the module header");
+}
+
+TEST(VerilogErrors, AttributeAndPragmaMisuse) {
+  expect_rejected(std::string(kPreamble) +
+                      "  wire n1;\n  assign y = n1;\n"
+                      "  (* init = 1'b1 *) INV_X1 u1 (.A(a), .ZN(n1));\n"
+                      "endmodule\n",
+                  "(* init *) attribute on non-sequential");
+  expect_rejected(std::string(kPreamble) +
+                      "  wire n1;\n  assign y = n1;\n"
+                      "  (* keep = 1'b1 *) INV_X1 u1 (.A(a), .ZN(n1));\n"
+                      "endmodule\n",
+                  "unknown attribute 'keep'");
+  expect_rejected(std::string(kPreamble) +
+                      "  wire n1;\n  assign y = n1;\n"
+                      "  INV_X1 u1 (.A(a), .ZN(n1));\n"
+                      "  // ffr:frobnicate\nendmodule\n",
+                  "unknown pragma");
+  expect_rejected(std::string(kPreamble) +
+                      "  wire n1;\n  assign y = n1;\n"
+                      "  INV_X1 u1 (.A(a), .ZN(n1));\n"
+                      "  // ffr:bus b ghost\nendmodule\n",
+                  "references unknown flip-flop 'ghost'");
+  expect_rejected(std::string(kPreamble) +
+                      "  wire n1;\n  assign y = n1;\n"
+                      "  INV_X1 u1 (.A(a), .ZN(n1));\n"
+                      "  // ffr:bus b u1\nendmodule\n",
+                  "references non-flip-flop 'u1'");
+}
+
+TEST(VerilogErrors, CombinationalCycleAndTrailingGarbage) {
+  expect_rejected(std::string(kPreamble) +
+                      "  wire n1, n2;\n  assign y = n1;\n"
+                      "  INV_X1 u1 (.A(n2), .ZN(n1));\n"
+                      "  INV_X1 u2 (.A(n1), .ZN(n2));\nendmodule\n",
+                  "module failed elaboration");
+  expect_rejected(std::string(kPreamble) +
+                      "  wire n1;\n  assign y = n1;\n"
+                      "  INV_X1 u1 (.A(a), .ZN(n1));\n"
+                      "endmodule\nmodule second (clk);\n",
+                  "expected end of file after 'endmodule'");
+}
+
+// ---------------------------------------------------------------------------
+// Checked-in corpus fixtures
+// ---------------------------------------------------------------------------
+
+std::filesystem::path corpus_dir(const char* kind) {
+  return std::filesystem::path(FFR_TEST_CORPUS_DIR) / kind;
+}
+
+TEST(VerilogCorpus, ValidFixturesRoundTrip) {
+  std::size_t seen = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(corpus_dir("valid"))) {
+    if (entry.path().extension() != ".v") continue;
+    SCOPED_TRACE(entry.path().filename().string());
+    ++seen;
+    const Netlist nl = read_verilog_file(entry.path());
+    EXPECT_TRUE(nl.finalized());
+    EXPECT_GT(nl.num_cells(), 0u);
+    // read -> write -> read structural stability, write byte-stability.
+    const std::string canonical = to_verilog(nl);
+    const Netlist again = read_verilog(canonical, "roundtrip.v");
+    std::string why;
+    EXPECT_TRUE(structurally_equal(nl, again, &why)) << why;
+    EXPECT_EQ(to_verilog(again), canonical);
+  }
+  EXPECT_GE(seen, 2u) << "corpus/valid is missing fixtures";
+}
+
+TEST(VerilogCorpus, InvalidFixturesAllRejectedWithPositions) {
+  std::size_t seen = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(corpus_dir("invalid"))) {
+    if (entry.path().extension() != ".v") continue;
+    SCOPED_TRACE(entry.path().filename().string());
+    ++seen;
+    try {
+      (void)read_verilog_file(entry.path());
+      ADD_FAILURE() << "fixture was accepted";
+    } catch (const std::runtime_error& e) {
+      const std::string message = e.what();
+      // Positioned diagnostic: "<path>:<line>:<col>: error: ...".
+      EXPECT_NE(message.find(entry.path().filename().string() + ":"),
+                std::string::npos)
+          << message;
+      EXPECT_NE(message.find(": error: "), std::string::npos) << message;
+    }
+  }
+  EXPECT_GE(seen, 7u) << "corpus/invalid is missing fixtures";
+}
+
+TEST(VerilogCorpus, MissingFileIsAnError) {
+  EXPECT_THROW((void)read_verilog_file(corpus_dir("valid") / "no_such_file.v"),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Imported designs are first-class campaign citizens
+// ---------------------------------------------------------------------------
+
+TEST(VerilogImportDifferential, MacGoldenFramesBitIdentical) {
+  const circuits::MacCore mac = circuits::build_mac_core();
+  const circuits::MacTestbench bench = circuits::build_mac_testbench(mac);
+  const Netlist imported = read_verilog(to_verilog(mac.netlist), "mac_core.v");
+  const sim::Testbench tb =
+      sim::retarget_testbench(bench.tb, mac.netlist, imported);
+
+  const sim::GoldenResult original = sim::run_golden(mac.netlist, bench.tb);
+  const sim::GoldenResult reimported = sim::run_golden(imported, tb);
+  ASSERT_EQ(original.frames.size(), reimported.frames.size());
+  for (std::size_t i = 0; i < original.frames.size(); ++i) {
+    EXPECT_EQ(original.frames[i].bytes, reimported.frames[i].bytes) << i;
+    EXPECT_EQ(original.frames[i].err, reimported.frames[i].err) << i;
+  }
+  EXPECT_EQ(original.activity.cycles_at_1, reimported.activity.cycles_at_1);
+  EXPECT_EQ(original.activity.state_changes, reimported.activity.state_changes);
+}
+
+TEST(VerilogImportDifferential, PipelineCampaignBitIdentical) {
+  const circuits::PipelineCore core = circuits::build_pipeline_core();
+  const circuits::PipelineTestbench bench = circuits::build_pipeline_testbench(core);
+  const Netlist imported = read_verilog(to_verilog(core.netlist), "pipeline.v");
+  const sim::Testbench tb =
+      sim::retarget_testbench(bench.tb, core.netlist, imported);
+
+  fault::CampaignConfig config;
+  config.injections_per_ff = 12;
+  config.num_threads = 2;
+
+  const sim::GoldenResult golden_orig = sim::run_golden(core.netlist, bench.tb);
+  const sim::GoldenResult golden_imp = sim::run_golden(imported, tb);
+  const fault::CampaignResult flat_orig =
+      fault::run_campaign(core.netlist, bench.tb, golden_orig, config);
+  const fault::CampaignResult flat_imp =
+      fault::run_campaign(imported, tb, golden_imp, config);
+  expect_campaigns_bit_identical(flat_orig, flat_imp);
+
+  // The batched engine on the imported design matches the flat reference on
+  // the original — the strongest cross-representation statement.
+  fault::CampaignEngine engine(imported, tb);
+  expect_campaigns_bit_identical(flat_orig, engine.run(config));
+}
+
+// ---------------------------------------------------------------------------
+// Testbench retargeting contract
+// ---------------------------------------------------------------------------
+
+TEST(RetargetTestbench, RejectsMismatchedInterfaces) {
+  const circuits::PipelineCore core = circuits::build_pipeline_core();
+  const circuits::PipelineTestbench bench = circuits::build_pipeline_testbench(core);
+
+  NetlistBuilder bld("other");
+  const NetId a = bld.input("a");
+  bld.output(bld.inv(a), "y");
+  const Netlist other = bld.build();
+  EXPECT_THROW((void)sim::retarget_testbench(bench.tb, core.netlist, other),
+               std::invalid_argument);
+
+  // Same PI count but different names must also be rejected.
+  NetlistBuilder bld2("renamed");
+  std::vector<NetId> pis;
+  for (const NetId pi : core.netlist.primary_inputs()) {
+    pis.push_back(bld2.input("x_" + core.netlist.net(pi).name));
+  }
+  bld2.output(bld2.inv(pis[0]), "y");
+  const Netlist renamed = bld2.build();
+  EXPECT_THROW((void)sim::retarget_testbench(bench.tb, core.netlist, renamed),
+               std::invalid_argument);
+}
+
+TEST(RetargetTestbench, IdentityRetargetKeepsMonitorNets) {
+  const circuits::PipelineCore core = circuits::build_pipeline_core();
+  const circuits::PipelineTestbench bench = circuits::build_pipeline_testbench(core);
+  const sim::Testbench same =
+      sim::retarget_testbench(bench.tb, core.netlist, core.netlist);
+  EXPECT_EQ(same.monitor.valid, bench.tb.monitor.valid);
+  EXPECT_EQ(same.monitor.data, bench.tb.monitor.data);
+  EXPECT_EQ(same.inject_begin, bench.tb.inject_begin);
+  EXPECT_EQ(same.inject_end, bench.tb.inject_end);
+}
+
+}  // namespace
+}  // namespace ffr::netlist
