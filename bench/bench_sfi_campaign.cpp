@@ -43,6 +43,18 @@ struct BenchRecord {
   ffr::fault::CampaignResult result;
 };
 
+/// Compact pass-schedule histogram, widest shape first: "512x2:349;64x1:2"
+/// means 349 passes of 2x512-lane blocks plus 2 scalar 64-lane passes.
+std::string histogram_string(const ffr::fault::CampaignResult& c) {
+  std::string out;
+  for (const ffr::fault::PassShapeCount& shape : c.pass_histogram) {
+    if (!out.empty()) out += ";";
+    out += std::to_string(shape.width) + "x" + std::to_string(shape.blocks) +
+           ":" + std::to_string(shape.passes);
+  }
+  return out;
+}
+
 void write_bench_json(const char* path, const std::vector<BenchRecord>& records) {
   std::FILE* f = std::fopen(path, "w");
   if (!f) {
@@ -60,6 +72,8 @@ void write_bench_json(const char* path, const std::vector<BenchRecord>& records)
         "\"injections_per_ff\": %zu, \"injections\": %llu, \"passes\": %llu, "
         "\"cycles_simulated\": %llu, \"ops_evaluated\": %llu, "
         "\"checkpoint_restores\": %llu, \"lane_width\": %zu, "
+        "\"blocks_per_pass\": %zu, \"pass_histogram\": \"%s\", "
+        "\"peak_checkpoint_bytes\": %zu, \"checkpoint_bytes_unpacked\": %zu, "
         "\"wall_seconds\": %.6f, \"mean_fdr\": %.9f}%s\n",
         r.circuit.c_str(), r.mode.c_str(), r.threads, r.batch,
         r.checkpoint_interval, r.injections_per_ff,
@@ -68,13 +82,24 @@ void write_bench_json(const char* path, const std::vector<BenchRecord>& records)
         static_cast<unsigned long long>(c.cycles_simulated),
         static_cast<unsigned long long>(c.ops_evaluated),
         static_cast<unsigned long long>(c.checkpoint_restores),
-        c.lanes_per_pass, c.wall_seconds, c.mean_fdr(),
+        c.lanes_per_pass / std::max<std::size_t>(1, c.blocks_per_pass),
+        c.blocks_per_pass, histogram_string(c).c_str(), c.checkpoint_bytes,
+        c.checkpoint_bytes_unpacked, c.wall_seconds, c.mean_fdr(),
         i + 1 < records.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
   std::fclose(f);
   std::printf("\nmachine-readable results -> %s (%zu records)\n", path,
               records.size());
+}
+
+/// Campaign warnings are part of the result contract (e.g. a lane_width
+/// request wider than the host, a clamped blocks_per_pass) — print them
+/// wherever a row lands in the bench output.
+void print_warnings(const ffr::fault::CampaignResult& result) {
+  for (const std::string& warning : result.warnings) {
+    std::printf("# warning: %s\n", warning.c_str());
+  }
 }
 
 }  // namespace
@@ -208,6 +233,7 @@ int main() {
     fault::CampaignConfig config = full;
     config.replay_mode = mode;
     const fault::CampaignResult result = engine.run(config);
+    print_warnings(result);
     add_headline(fault::to_string(mode), result);
     records.push_back({"relay_core", fault::to_string(mode),
                        config.num_threads, config.batch_size,
@@ -247,6 +273,14 @@ int main() {
               static_cast<unsigned long long>(batched.ops_evaluated),
               static_cast<unsigned long long>(incremental.ops_evaluated),
               static_cast<unsigned long long>(incremental.checkpoint_restores));
+  if (incremental.checkpoint_bytes > 0) {
+    std::printf("golden checkpoints: %zu bytes bit-packed vs %zu bytes in the "
+                "broadcast-word layout (%.1fx smaller)\n",
+                incremental.checkpoint_bytes,
+                incremental.checkpoint_bytes_unpacked,
+                static_cast<double>(incremental.checkpoint_bytes_unpacked) /
+                    static_cast<double>(incremental.checkpoint_bytes));
+  }
 
   // ---- SIMD lane-width sweep: 64 / 256 / 512 fault lanes per pass -------------
 
@@ -276,11 +310,11 @@ int main() {
        {sim::LaneWidth::k256, sim::LaneWidth::k512}) {
     fault::CampaignConfig config = full;
     config.lane_width = width;
+    // Single-block rows: comparable with the pre-multi-block width sweep.
+    config.blocks_per_pass = 1;
     const fault::CampaignResult result = engine.run(config);
     add_width_row(result);
-    for (const std::string& warning : result.warnings) {
-      std::printf("# %s\n", warning.c_str());
-    }
+    print_warnings(result);
     records.push_back({"relay_core", fault::to_string(config.replay_mode),
                        config.num_threads, config.batch_size,
                        config.checkpoint_interval, config.injections_per_ff,
@@ -296,6 +330,47 @@ int main() {
   std::printf("SIMD lane blocks: best wide width = %.2fx wall over the "
               "64-lane incremental baseline\n",
               best_wide_speedup);
+
+  // ---- multi-block sweep: lane blocks per pass at the native width -------------
+
+  std::printf("\nmulti-block sweep (%zu injections/FF, incremental replay, "
+              "native width; blocks_per_pass multiplies the per-pass fault "
+              "lanes — results are bit-identical at every block count):\n",
+              full.injections_per_ff);
+  util::TablePrinter block_sweep_table({"blocks", "lanes/pass", "sim passes",
+                                        "schedule", "wall[s]", "vs 64-lane"});
+  double best_block_speedup = best_wide_speedup;
+  for (const std::size_t blocks :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8},
+        std::size_t{0}}) {
+    fault::CampaignConfig config = full;
+    config.lane_width = sim::LaneWidth::kAuto;
+    config.blocks_per_pass = blocks;
+    const fault::CampaignResult result = engine.run(config);
+    print_warnings(result);
+    block_sweep_table.add_row(
+        {blocks == 0 ? "auto=" + std::to_string(result.blocks_per_pass)
+                     : std::to_string(blocks),
+         std::to_string(result.lanes_per_pass),
+         std::to_string(result.total_sim_passes), histogram_string(result),
+         util::TablePrinter::format(result.wall_seconds, 2),
+         util::TablePrinter::format(
+             incremental.wall_seconds / result.wall_seconds, 2) +
+             "x"});
+    records.push_back({"relay_core", fault::to_string(config.replay_mode),
+                       config.num_threads, config.batch_size,
+                       config.checkpoint_interval, config.injections_per_ff,
+                       result});
+    if (flat.fdr_vector() != result.fdr_vector()) {
+      std::printf("# BLOCKS=%zu DIVERGED FROM FLAT REFERENCE (BUG)\n", blocks);
+    }
+    best_block_speedup = std::max(
+        best_block_speedup, incremental.wall_seconds / result.wall_seconds);
+  }
+  block_sweep_table.print();
+  std::printf("multi-block passes: best shape = %.2fx wall over the 64-lane "
+              "incremental baseline\n",
+              best_block_speedup);
 
   // ---- scheduling sweep: threads x batch size ----------------------------------
 

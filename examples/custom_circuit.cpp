@@ -136,6 +136,9 @@ int main() {
   fault::CampaignConfig config;
   config.injections_per_ff = 48;
   const fault::CampaignResult campaign = fault::run_campaign(nl, tb, golden, config);
+  for (const std::string& warning : campaign.warnings) {
+    std::printf("warning: %s\n", warning.c_str());
+  }
   const features::FeatureMatrix fm =
       features::extract_features(nl, golden.activity);
 

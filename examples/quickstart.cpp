@@ -37,6 +37,9 @@ int main() {
   const core::FlowResult flow =
       core::run_estimation_flow(mac.netlist, bench.tb, flow_config);
 
+  for (const std::string& warning : flow.warnings) {
+    std::printf("warning : %s\n", warning.c_str());
+  }
   std::printf("flow    : injected %llu faults (a flat campaign needs %llu; "
               "%.1fx cheaper)\n",
               static_cast<unsigned long long>(flow.injections_spent),

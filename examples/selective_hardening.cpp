@@ -73,6 +73,9 @@ int main() {
   flow_config.model = "knn_paper";
   const core::FlowResult flow =
       core::run_estimation_flow(mac.netlist, bench.tb, flow_config);
+  for (const std::string& warning : flow.warnings) {
+    std::printf("warning: %s\n", warning.c_str());
+  }
 
   // Activity heuristic: state changes from the golden trace.
   const core::FlowResult& features_source = flow;

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""CI perf-guard for the SFI campaign benchmark.
+
+Compares a freshly generated BENCH_sfi_campaign.json against the committed
+baseline on the *deterministic* cost counters — simulation passes, cycles
+simulated, op evaluations — which depend only on the campaign configuration
+and the adaptive pass schedule, never on host load, thread timing or SIMD
+throughput. A counter that grew beyond the tolerance is a real cost
+regression (a scheduling or replay change made the engine do more work), not
+noise, so the guard can be strict where a wall-clock gate could not be.
+mean_fdr must match exactly: every engine configuration is bit-identical to
+the flat reference by contract.
+
+Rows are keyed by the full configuration tuple. Keys present in only one
+file are skipped with a note — CI runners without AVX-512 resolve k512
+requests to 256 lanes, so their key sets legitimately differ from a
+baseline generated on an AVX-512 host — but zero matching keys is an error
+(it means the key schema drifted and the guard is vacuous).
+
+Usage: check_bench_regression.py BASELINE.json CURRENT.json [--tolerance F]
+Exit status: 0 = no regression, 1 = regression or vacuous comparison.
+"""
+
+import argparse
+import json
+import sys
+
+# Configuration fields identifying a row; counters are comparable only
+# between rows that agree on all of them.
+KEY_FIELDS = (
+    "circuit",
+    "mode",
+    "threads",
+    "batch",
+    "checkpoint_interval",
+    "injections_per_ff",
+    "lane_width",
+    "blocks_per_pass",
+)
+
+# Deterministic cost counters guarded against growth.
+COUNTER_FIELDS = ("passes", "cycles_simulated", "ops_evaluated")
+
+
+def load_rows(path):
+    with open(path, encoding="utf-8") as f:
+        rows = json.load(f)
+    if not isinstance(rows, list):
+        sys.exit(f"error: {path}: expected a JSON array of benchmark rows")
+    keyed = {}
+    for row in rows:
+        key = tuple(row.get(field) for field in KEY_FIELDS)
+        # Duplicate keys appear when two requested widths resolve to the
+        # same native width; their deterministic counters must agree.
+        if key in keyed:
+            for field in COUNTER_FIELDS:
+                if keyed[key].get(field) != row.get(field):
+                    sys.exit(
+                        f"error: {path}: duplicate key {key} with "
+                        f"conflicting '{field}' counters"
+                    )
+        keyed[key] = row
+    return keyed
+
+
+def describe(key):
+    return ", ".join(f"{field}={value}" for field, value in zip(KEY_FIELDS, key))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_sfi_campaign.json")
+    parser.add_argument("current", help="freshly generated JSON to check")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.0,
+        help="allowed fractional counter growth (default 0: exact)",
+    )
+    args = parser.parse_args()
+
+    baseline = load_rows(args.baseline)
+    current = load_rows(args.current)
+
+    matched = 0
+    regressions = []
+    improvements = []
+    for key, base_row in baseline.items():
+        cur_row = current.get(key)
+        if cur_row is None:
+            print(f"skip (no current row): {describe(key)}")
+            continue
+        matched += 1
+        for field in COUNTER_FIELDS:
+            base_value = base_row[field]
+            cur_value = cur_row[field]
+            if cur_value > base_value * (1.0 + args.tolerance):
+                regressions.append(
+                    f"{field} {base_value} -> {cur_value} [{describe(key)}]"
+                )
+            elif cur_value < base_value:
+                improvements.append(
+                    f"{field} {base_value} -> {cur_value} [{describe(key)}]"
+                )
+        if f"{base_row['mean_fdr']:.9f}" != f"{cur_row['mean_fdr']:.9f}":
+            regressions.append(
+                f"mean_fdr {base_row['mean_fdr']:.9f} -> "
+                f"{cur_row['mean_fdr']:.9f} (bit-identity broken) "
+                f"[{describe(key)}]"
+            )
+    for key in current:
+        if key not in baseline:
+            print(f"note: new row not in baseline: {describe(key)}")
+
+    if matched == 0:
+        print("error: no baseline row matched any current row — the key "
+              "schema drifted and this comparison is vacuous")
+        return 1
+    for line in improvements:
+        print(f"improved: {line}")
+    if regressions:
+        print(f"\n{len(regressions)} deterministic-counter regression(s):")
+        for line in regressions:
+            print(f"  REGRESSION: {line}")
+        return 1
+    print(f"ok: {matched} row(s) compared, no counter regressions, "
+          f"mean_fdr bit-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -65,6 +65,7 @@ FlowResult run_estimation_flow(const fault::CampaignEngine& engine,
   result.campaign_seconds = stopwatch.elapsed_seconds();
   result.train_fdr = campaign.fdr_vector();
   result.injections_spent = campaign.total_injections;
+  result.warnings = campaign.warnings;
   result.injections_full =
       static_cast<std::uint64_t>(n) * config.injections_per_ff;
 

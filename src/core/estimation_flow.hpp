@@ -58,6 +58,10 @@ struct FlowResult {
   /// Raw model predictions for all flip-flops (diagnostics).
   linalg::Vector predicted_fdr;
 
+  /// Non-fatal diagnostics surfaced from the training campaign (see
+  /// CampaignResult::warnings), e.g. a lane-width fallback on this host.
+  std::vector<std::string> warnings;
+
   std::uint64_t injections_spent = 0;
   double golden_seconds = 0.0;
   double campaign_seconds = 0.0;

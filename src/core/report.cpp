@@ -37,6 +37,14 @@ std::string render_report(const netlist::Netlist& nl, const FlowResult& flow,
       << flow.injections_full << ", saving " << flow.cost_reduction() << "x)\n";
   out << "- estimated circuit mean FDR: " << flow.mean_fdr() << "\n\n";
 
+  if (!flow.warnings.empty()) {
+    out << "## Warnings\n\n";
+    for (const std::string& warning : flow.warnings) {
+      out << "- " << warning << "\n";
+    }
+    out << "\n";
+  }
+
   // FDR histogram.
   out << "## FDR distribution\n\n";
   std::vector<std::size_t> hist(options.histogram_bins, 0);

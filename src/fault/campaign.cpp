@@ -195,6 +195,8 @@ CampaignResult run_campaign(const netlist::Netlist& nl, const sim::Testbench& tb
   for (const auto c : sim_cycles) result.cycles_simulated += c;
   for (const auto o : sim_ops) result.ops_evaluated += o;
   for (const FfResult& ff : result.per_ff) result.total_injections += ff.injections;
+  result.pass_histogram = {
+      PassShapeCount{sim::kNumLanes, 1, result.total_sim_passes}};
   result.wall_seconds = stopwatch.elapsed_seconds();
   return result;
 }

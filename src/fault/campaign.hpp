@@ -81,6 +81,15 @@ struct CampaignConfig {
   /// Pure cost knob: results are bit-identical at every width. Ignored by
   /// the flat run_campaign() (always 64 lanes — the differential reference).
   sim::LaneWidth lane_width = sim::LaneWidth::kAuto;
+  /// Lane blocks the batched engine sweeps per simulation pass, multiplying
+  /// the pass capacity to lane_width * blocks_per_pass fault lanes (e.g.
+  /// 2 x 512 = 1024). 0 = auto: 1 on the resolved 64-lane reference path,
+  /// otherwise the largest block count whose per-net state footprint fits a
+  /// fixed cache budget (deterministic — no host probing, so schedules and
+  /// counters are machine-independent). Explicit values are clamped to
+  /// [1, sim::kMaxLaneBlocksPerPass] with a warning. Pure cost knob: results
+  /// are bit-identical at every block count. Ignored by run_campaign().
+  std::size_t blocks_per_pass = 0;
   /// Restrict the campaign to these flip-flop indices (positions within
   /// Netlist::flip_flops()). Empty = all flip-flops.
   std::vector<std::size_t> ff_subset;
@@ -103,18 +112,36 @@ struct FfResult {
   }
 };
 
+/// One row of the batched engine's adaptive pass schedule: `passes` passes
+/// ran as `blocks` SIMD lane blocks of `width` fault lanes each.
+struct PassShapeCount {
+  std::size_t width = sim::kNumLanes;  ///< Fault lanes per block (64/256/512).
+  std::size_t blocks = 1;              ///< Lane blocks swept per pass.
+  std::uint64_t passes = 0;            ///< Passes run at this shape.
+
+  /// Fault-lane capacity of one pass at this shape.
+  [[nodiscard]] std::size_t lanes() const noexcept { return width * blocks; }
+};
+
 /// Aggregate campaign outcome: per-flip-flop results plus cost accounting.
 struct CampaignResult {
   std::vector<FfResult> per_ff;        ///< One entry per targeted flip-flop.
   std::uint64_t total_injections = 0;  ///< Upsets injected overall.
-  /// Simulator passes used; each pass carries `lanes_per_pass` fault lanes,
-  /// so a campaign costs ceil(total_injections / lanes_per_pass) passes in
-  /// the batched engine.
+  /// Simulator passes used. The batched engine schedules adaptively: full
+  /// passes carry `lanes_per_pass` fault lanes and the job tail is re-sliced
+  /// into narrower shapes (see pass_histogram), so the total is at most
+  /// ceil(total_injections / lanes_per_pass) plus a few tail passes.
   std::uint64_t total_sim_passes = 0;
-  /// Fault lanes per simulator pass: 64 on the scalar path, 256/512 when
-  /// the engine ran SIMD lane blocks (the resolved CampaignConfig
-  /// lane_width, after any fallback).
+  /// Fault-lane capacity of a full-shape engine pass: the resolved
+  /// CampaignConfig lane_width (after any fallback) times the resolved
+  /// blocks_per_pass. 64 on the scalar reference path.
   std::size_t lanes_per_pass = sim::kNumLanes;
+  /// Lane blocks per full-shape pass after auto-resolution/clamping.
+  std::size_t blocks_per_pass = 1;
+  /// The engine's pass schedule, widest shape first: how many passes ran at
+  /// each (width, blocks) shape. Sums to total_sim_passes. The flat
+  /// run_campaign() reports its single 64x1 shape here.
+  std::vector<PassShapeCount> pass_histogram;
   /// Non-fatal configuration diagnostics, e.g. a lane_width request wider
   /// than the host supports that fell back to the native width. Not
   /// persisted by save_csv().
@@ -128,6 +155,14 @@ struct CampaignResult {
   std::uint64_t ops_evaluated = 0;
   /// Passes that resumed from a checkpoint later than cycle 0.
   std::uint64_t checkpoint_restores = 0;
+  /// Bytes held by the golden checkpoint set used by this campaign (the
+  /// bit-packed sim::GoldenCheckpoints representation; 0 in kFull mode and
+  /// in the flat campaign, which replay from reset).
+  std::size_t checkpoint_bytes = 0;
+  /// Bytes the same checkpoint set would occupy in the pre-packed layout
+  /// (one broadcast 64-bit word per FF per snapshot plus per-snapshot frame
+  /// copies) — the baseline for the packing ratio.
+  std::size_t checkpoint_bytes_unpacked = 0;
   double wall_seconds = 0.0;           ///< Campaign wall-clock time.
 
   /// FDR values in per_ff order.

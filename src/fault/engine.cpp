@@ -1,6 +1,7 @@
 #include "fault/engine.hpp"
 
 #include <algorithm>
+#include <array>
 #include <memory>
 #include <span>
 #include <stdexcept>
@@ -14,6 +15,16 @@ namespace ffr::fault {
 
 namespace {
 
+/// Per-pass net-state footprint budget for auto blocks_per_pass: one block
+/// of a W-lane pass costs num_nets * W / 8 bytes of hot value storage, and
+/// sweeping more blocks only helps while the working set stays cache-class.
+/// 1 MB lands relay_core (5739 nets, 359 KB per 512-lane block) on 2 blocks
+/// per pass — the fastest measured shape (bench_sfi_campaign: 2 blocks beat
+/// 1/4/8 at 512 lanes; 4 blocks already spill mid-level cache). A fixed
+/// constant (not a host probe) keeps schedules and deterministic counters
+/// machine-independent.
+constexpr std::size_t kAutoBlockFootprintBytes = std::size_t{1} << 20;
+
 void validate_checkpoint_interval(std::size_t interval, std::size_t num_cycles) {
   if (interval == 0) {
     throw std::invalid_argument(
@@ -26,8 +37,8 @@ void validate_checkpoint_interval(std::size_t interval, std::size_t num_cycles) 
   }
 }
 
-/// One injection of the flat campaign-wide job list; job j is lane
-/// j % block_lanes of pass j / block_lanes.
+/// One injection of the flat campaign-wide job list; the pass schedule
+/// (build_pass_schedule) slices this list into contiguous job ranges.
 struct Job {
   std::uint32_t task;
   std::uint32_t cycle;
@@ -39,52 +50,58 @@ struct WorkerCost {
   std::uint64_t restores = 0;
 };
 
-/// SIMD lane-block pass executor: slices the job list into W * 64-lane
-/// blocks and replays each block on a per-worker WideReplayRunner<W>. The
-/// per-job outcomes are written disjointly, exactly like the scalar path —
-/// science output can never depend on scheduling or block width.
+/// SIMD lane-block pass executor for every scheduled pass of one block
+/// width W: replays each planned pass on a per-worker WideReplayRunner<W>
+/// sized to that pass's block count. The per-job outcomes are written
+/// disjointly, exactly like the scalar path — science output can never
+/// depend on scheduling, block width or block count.
 template <std::size_t W>
-void run_wide_passes(const sim::CompiledStimulus& stimulus,
-                     std::span<const netlist::CellId> ffs,
-                     const std::vector<std::size_t>& subset,
-                     const std::vector<Job>& jobs,
-                     const sim::FrameList& golden_frames,
-                     const sim::GoldenCheckpoints* ckpts,
-                     const CampaignConfig& config,
-                     util::ThreadPool& pool,
-                     std::vector<FailureClass>& outcome,
-                     std::vector<WorkerCost>& costs) {
-  constexpr std::size_t kBlockLanes = sim::LaneBlock<W>::kLanes;
-  const std::size_t num_passes = (jobs.size() + kBlockLanes - 1) / kBlockLanes;
-  std::vector<std::unique_ptr<sim::WideReplayRunner<W>>> runners(pool.size());
+void run_wide_group(const sim::CompiledStimulus& stimulus,
+                    std::span<const netlist::CellId> ffs,
+                    const std::vector<std::size_t>& subset,
+                    const std::vector<Job>& jobs,
+                    const std::vector<PlannedPass>& schedule,
+                    const std::vector<std::size_t>& pass_indices,
+                    const sim::FrameList& golden_frames,
+                    const sim::GoldenCheckpoints* ckpts,
+                    const CampaignConfig& config,
+                    util::ThreadPool& pool,
+                    std::vector<FailureClass>& outcome,
+                    std::vector<WorkerCost>& costs) {
+  // One runner per (worker, block count): the levelized op list is rebuilt
+  // only when a worker first sees a block count, not per pass.
+  std::vector<std::array<std::unique_ptr<sim::WideReplayRunner<W>>,
+                         sim::kMaxLaneBlocksPerPass + 1>>
+      runners(pool.size());
   pool.parallel_for_chunked(
-      num_passes, config.batch_size,
-      [&](std::size_t pass_begin, std::size_t pass_end, std::size_t worker) {
-        if (!runners[worker]) {
-          runners[worker] = std::make_unique<sim::WideReplayRunner<W>>(stimulus);
-        }
-        sim::WideReplayRunner<W>& runner = *runners[worker];
+      pass_indices.size(), config.batch_size,
+      [&](std::size_t begin, std::size_t end, std::size_t worker) {
         sim::WideRunOptions options;
         options.resume = ckpts;
         options.incremental_eval =
             config.replay_mode == ReplayMode::kIncremental;
         std::vector<sim::LaneInjection> events;
-        events.reserve(kBlockLanes);
-        for (std::size_t pass = pass_begin; pass < pass_end; ++pass) {
-          const std::size_t job_begin = pass * kBlockLanes;
-          const std::size_t job_end =
-              std::min(jobs.size(), job_begin + kBlockLanes);
+        for (std::size_t i = begin; i < end; ++i) {
+          const PlannedPass& pass = schedule[pass_indices[i]];
+          auto& slot = runners[worker][pass.blocks];
+          if (!slot) {
+            slot = std::make_unique<sim::WideReplayRunner<W>>(stimulus,
+                                                              pass.blocks);
+          }
+          sim::WideReplayRunner<W>& runner = *slot;
           events.clear();
-          for (std::size_t j = job_begin; j < job_end; ++j) {
+          events.reserve(pass.job_end - pass.job_begin);
+          for (std::size_t j = pass.job_begin; j < pass.job_end; ++j) {
             sim::LaneInjection ev;
             ev.ff_cell = ffs[subset[jobs[j].task]];
             ev.cycle = jobs[j].cycle;
-            ev.lane = static_cast<std::uint32_t>(j - job_begin);
+            ev.lane = static_cast<std::uint32_t>(j - pass.job_begin);
             events.push_back(ev);
           }
           const sim::RunResult run = runner.run(events, options);
-          for (std::size_t j = job_begin; j < job_end; ++j) {
-            outcome[j] = classify(golden_frames, run.lane_frames[j - job_begin]);
+          for (std::size_t j = pass.job_begin; j < pass.job_end; ++j) {
+            outcome[j] =
+                classify(golden_frames, run.lane_frames[j - pass.job_begin]);
           }
           costs[worker].cycles += run.cycles_simulated;
           costs[worker].ops += run.ops_evaluated;
@@ -95,10 +112,100 @@ void run_wide_passes(const sim::CompiledStimulus& stimulus,
 
 }  // namespace
 
+std::vector<PlannedPass> build_pass_schedule(std::size_t num_jobs,
+                                             std::size_t full_width,
+                                             std::size_t full_blocks) {
+  std::vector<PlannedPass> schedule;
+  if (num_jobs == 0) return schedule;
+  std::size_t cursor = 0;
+  const auto emit = [&](std::size_t width, std::size_t blocks) {
+    PlannedPass pass;
+    pass.width = width;
+    pass.blocks = blocks;
+    pass.job_begin = cursor;
+    pass.job_end = std::min(num_jobs, cursor + width * blocks);
+    cursor = pass.job_end;
+    schedule.push_back(pass);
+  };
+
+  // Full-shape passes while whole ones fit.
+  const std::size_t capacity = full_width * full_blocks;
+  while (num_jobs - cursor >= capacity) emit(full_width, full_blocks);
+
+  // Re-slice the ragged tail widest-first over the shapes the campaign may
+  // use (never wider than the full shape): r remaining 64-lane words are
+  // packed into as few, as-wide-as-useful passes as possible. Cost per pass
+  // grows with width (wider SIMD kernels touch more state), so a tail that
+  // fits narrower shapes exactly beats one mostly-masked full-width pass.
+  std::size_t r = (num_jobs - cursor + 63) / 64;
+  for (const std::size_t width : {std::size_t{512}, std::size_t{256}}) {
+    if (width > full_width) continue;
+    const std::size_t words = width / 64;
+    while (r >= words) {
+      const std::size_t blocks = std::min(full_blocks, r / words);
+      emit(width, blocks);
+      r -= words * blocks;
+    }
+  }
+  if (full_width == 64) {
+    // Scalar-width campaigns: multi-block 64-lane passes until the tail is
+    // gone. With full_blocks == 1 this degenerates to ceil(num_jobs / 64)
+    // scalar passes — the reference path, byte-identical to the pre-adaptive
+    // engine.
+    while (r > 0) {
+      const std::size_t blocks = std::min(full_blocks, r);
+      emit(64, blocks);
+      r -= blocks;
+    }
+  } else if (r > 0) {
+    // Residual words (r in [1, 3]) below the narrowest SIMD shape used.
+    if (r <= full_blocks) {
+      emit(64, r);  // exact multi-block scalar-width pass
+    } else if (r == 2) {
+      emit(64, 1);  // 64+64 beats one mostly-masked 256
+      emit(64, 1);
+    } else {
+      emit(256, 1);  // r == 3 with full_blocks < 3: one masked 256 pass
+    }
+  }
+  return schedule;
+}
+
+std::size_t resolve_blocks_per_pass(std::size_t requested,
+                                    std::size_t width_lanes,
+                                    std::size_t num_nets,
+                                    std::string* warning) {
+  if (requested == 0) {
+    // The 64-lane reference path is never widened implicitly: adaptive
+    // block selection must not change the pinned scalar pass counts.
+    if (width_lanes <= sim::kNumLanes) return 1;
+    const std::size_t bytes_per_block =
+        std::max<std::size_t>(1, num_nets) * (width_lanes / 8);
+    std::size_t blocks = sim::kMaxLaneBlocksPerPass;
+    while (blocks > 1 && blocks * bytes_per_block > kAutoBlockFootprintBytes) {
+      blocks /= 2;
+    }
+    return blocks;
+  }
+  if (requested > sim::kMaxLaneBlocksPerPass) {
+    if (warning != nullptr) {
+      *warning = "blocks_per_pass " + std::to_string(requested) +
+                 " exceeds the supported maximum; clamped to " +
+                 std::to_string(sim::kMaxLaneBlocksPerPass) + " blocks";
+    }
+    return sim::kMaxLaneBlocksPerPass;
+  }
+  return requested;
+}
+
 CampaignEngine::CampaignEngine(const netlist::Netlist& nl, const sim::Testbench& tb)
     : nl_(&nl), tb_(&tb), stimulus_(nl, tb) {
-  sim::ReplayRunner runner(stimulus_);
-  sim::RunOptions options;
+  // The golden run rides the wide path (single block, W = 1): golden state
+  // is broadcast on every lane, so frames, activity and packed checkpoints
+  // are bit-identical to a scalar ReplayRunner run — which the differential
+  // suite verifies against sim::run_golden.
+  sim::WideReplayRunner<1> runner(stimulus_);
+  sim::WideRunOptions options;
   options.trace_activity = true;
   // Record checkpoints during the one golden run the engine pays anyway.
   // Short testbenches clamp the default interval; run() still validates the
@@ -133,8 +240,8 @@ std::shared_ptr<const sim::GoldenCheckpoints> CampaignEngine::checkpoints(
   // snapshots for a given interval are identical either way.
   auto fresh = std::make_shared<sim::GoldenCheckpoints>();
   fresh->interval = interval;
-  sim::ReplayRunner runner(stimulus_);
-  sim::RunOptions options;
+  sim::WideReplayRunner<1> runner(stimulus_);
+  sim::WideRunOptions options;
   options.record = fresh.get();
   (void)runner.run({}, options);
   std::lock_guard<std::mutex> lock(checkpoints_mutex_);
@@ -151,21 +258,28 @@ CampaignResult CampaignEngine::run(const CampaignConfig& config) const {
   const auto ffs = nl_->flip_flops();
   const std::vector<std::size_t> subset = resolve_ff_subset(config, ffs.size());
 
-  // Resolve the SIMD block width up front: kAuto picks the host's native
-  // width, explicit requests wider than the host falls back with a warning.
+  // Resolve the SIMD block width and block count up front: kAuto width picks
+  // the host's native width (explicit requests wider than the host fall back
+  // with a warning); blocks_per_pass = 0 auto-sizes against the fixed cache
+  // budget at the resolved width.
   const sim::ResolvedLaneWidth resolved = sim::resolve_lane_width(config.lane_width);
   const std::size_t block_lanes = sim::lanes_of(resolved.width);
+  std::string blocks_warning;
+  const std::size_t blocks = resolve_blocks_per_pass(
+      config.blocks_per_pass, block_lanes, nl_->num_nets(), &blocks_warning);
 
   util::Stopwatch stopwatch;
   CampaignResult result;
   result.per_ff.resize(subset.size());
-  result.lanes_per_pass = block_lanes;
+  result.lanes_per_pass = block_lanes * blocks;
+  result.blocks_per_pass = blocks;
   if (!resolved.warning.empty()) result.warnings.push_back(resolved.warning);
+  if (!blocks_warning.empty()) result.warnings.push_back(blocks_warning);
 
   // Flat job list in deterministic (task-major, schedule-order) order: job j
-  // is one injection. Slicing it into block_lanes-lane passes packs lanes
-  // across flip-flop boundaries, which is where the pass saving over the
-  // flat campaign comes from.
+  // is one injection. Slicing it into lane-block passes packs lanes across
+  // flip-flop boundaries, which is where the pass saving over the flat
+  // campaign comes from.
   std::vector<Job> jobs;
   jobs.reserve(subset.size() * config.injections_per_ff);
   for (std::size_t task = 0; task < subset.size(); ++task) {
@@ -192,23 +306,41 @@ CampaignResult CampaignEngine::run(const CampaignConfig& config) const {
   }
   const std::shared_ptr<const sim::GoldenCheckpoints> ckpts =
       checkpointed ? checkpoints(config.checkpoint_interval) : nullptr;
+  if (ckpts) {
+    result.checkpoint_bytes = ckpts->memory_bytes();
+    result.checkpoint_bytes_unpacked = ckpts->broadcast_word_bytes();
+  }
 
-  const std::size_t num_passes = (jobs.size() + block_lanes - 1) / block_lanes;
+  // Adaptive pass schedule: full (width x blocks) passes plus a re-sliced
+  // tail. Deterministic given (jobs, width, blocks), so pass counts are
+  // exact regression-guard counters.
+  const std::vector<PlannedPass> schedule =
+      build_pass_schedule(jobs.size(), block_lanes, blocks);
+  for (const PlannedPass& pass : schedule) {
+    auto it = std::find_if(result.pass_histogram.begin(),
+                           result.pass_histogram.end(),
+                           [&](const PassShapeCount& shape) {
+                             return shape.width == pass.width &&
+                                    shape.blocks == pass.blocks;
+                           });
+    if (it == result.pass_histogram.end()) {
+      result.pass_histogram.push_back(PassShapeCount{pass.width, pass.blocks, 1});
+    } else {
+      ++it->passes;
+    }
+  }
+
   // Per-job outcome, written disjointly by the workers and reduced serially
   // afterwards — science output can never depend on scheduling.
   std::vector<FailureClass> outcome(jobs.size(), FailureClass::kOk);
 
   util::ThreadPool pool(config.num_threads);
   std::vector<WorkerCost> costs(pool.size());
-  if (resolved.width == sim::LaneWidth::k256) {
-    run_wide_passes<4>(stimulus_, ffs, subset, jobs, golden_.frames,
-                       ckpts.get(), config, pool, outcome, costs);
-  } else if (resolved.width == sim::LaneWidth::k512) {
-    run_wide_passes<8>(stimulus_, ffs, subset, jobs, golden_.frames,
-                       ckpts.get(), config, pool, outcome, costs);
-  } else {
+  if (block_lanes == sim::kNumLanes && blocks == 1) {
     // Scalar 64-lane path — byte-for-byte the pre-SIMD engine behaviour and
-    // the reference every wider block width is differentially tested against.
+    // the reference every wider shape is differentially tested against. The
+    // schedule is exactly ceil(jobs / 64) single-block passes here.
+    const std::size_t num_passes = schedule.size();
     std::vector<std::unique_ptr<sim::ReplayRunner>> runners(pool.size());
     pool.parallel_for_chunked(
         num_passes, config.batch_size,
@@ -245,12 +377,39 @@ CampaignResult CampaignEngine::run(const CampaignConfig& config) const {
             if (run.start_cycle > 0) ++costs[worker].restores;
           }
         });
+  } else {
+    // Group the schedule by block width and dispatch each group to its
+    // templated executor; a narrower-tail pass of a 512-lane campaign runs
+    // on the narrow kernel it was planned for.
+    std::vector<std::size_t> by_width[3];  // 64, 256, 512
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+      switch (schedule[i].width) {
+        case 64: by_width[0].push_back(i); break;
+        case 256: by_width[1].push_back(i); break;
+        default: by_width[2].push_back(i); break;
+      }
+    }
+    if (!by_width[0].empty()) {
+      run_wide_group<1>(stimulus_, ffs, subset, jobs, schedule, by_width[0],
+                        golden_.frames, ckpts.get(), config, pool, outcome,
+                        costs);
+    }
+    if (!by_width[1].empty()) {
+      run_wide_group<4>(stimulus_, ffs, subset, jobs, schedule, by_width[1],
+                        golden_.frames, ckpts.get(), config, pool, outcome,
+                        costs);
+    }
+    if (!by_width[2].empty()) {
+      run_wide_group<8>(stimulus_, ffs, subset, jobs, schedule, by_width[2],
+                        golden_.frames, ckpts.get(), config, pool, outcome,
+                        costs);
+    }
   }
 
   for (std::size_t j = 0; j < jobs.size(); ++j) {
     result.per_ff[jobs[j].task].classes.add(outcome[j]);
   }
-  result.total_sim_passes = num_passes;
+  result.total_sim_passes = schedule.size();
   result.total_injections = jobs.size();
   for (const WorkerCost& cost : costs) {
     result.cycles_simulated += cost.cycles;

@@ -5,23 +5,27 @@
 /// CampaignEngine precomputes everything that is invariant across a
 /// campaign's simulation passes — the compiled stimulus (waveforms validated
 /// once and pre-broadcast to 64-lane words), the golden frame stream /
-/// activity trace, and golden-state checkpoints (sim::GoldenCheckpoints,
-/// snapshotted during the one-time golden run) — and keeps one ReplayRunner
-/// per worker thread so the levelized evaluation order is built once per
-/// worker instead of once per pass. run() packs injection windows across
-/// flip-flops: the whole campaign's injections form one flat job list sliced
-/// into lane-block passes of CampaignConfig::lane_width fault lanes each
-/// (64 on the scalar path, 256/512 on the SIMD WideReplayRunner paths —
-/// kAuto picks the widest block the host CPU supports via CPUID), costing
-/// ceil(total_injections / block_lanes) passes instead of the flat
-/// campaign's sum over flip-flops of ceil(injections_per_ff / 64). Under
-/// the checkpointed replay modes the job list is additionally sorted by
-/// injection cycle, so the lanes of one pass share a late start point: each
-/// pass restores the latest golden checkpoint at or before its earliest
-/// injection (wide passes splat the broadcast golden words across whole
-/// blocks) and fast-forwards from there, and (in kIncremental mode)
-/// evaluates only the dirty cone per cycle. Passes are distributed over a
-/// work-stealing pool in chunks of CampaignConfig::batch_size.
+/// activity trace (run on the wide path: golden state is broadcast, so the
+/// wide golden run is bit-identical to the scalar one), and bit-packed
+/// golden-state checkpoints (sim::GoldenCheckpoints at 1 bit per FF,
+/// snapshotted during the one-time golden run) — and keeps one replay
+/// runner per worker thread so the levelized evaluation order is built once
+/// per worker instead of once per pass. run() packs injection windows
+/// across flip-flops: the whole campaign's injections form one flat job
+/// list planned into an adaptive pass schedule (build_pass_schedule). Full
+/// passes carry lane_width * blocks_per_pass fault lanes — lane_width picks
+/// the SIMD block (64 scalar, 256 AVX2, 512 AVX-512; kAuto dispatches via
+/// CPUID) and blocks_per_pass sweeps several blocks per op to keep the
+/// vector pipelines busy past the register width — and the ragged job tail
+/// is re-sliced widest-first into narrower passes instead of running one
+/// mostly-masked full pass. Under the checkpointed replay modes the job
+/// list is additionally sorted by injection cycle, so the lanes of one pass
+/// share a late start point: each pass restores the latest golden
+/// checkpoint at or before its earliest injection (splatting each packed
+/// golden bit across whole blocks) and fast-forwards from there, and (in
+/// kIncremental mode) evaluates only the dirty cone per cycle. Passes are
+/// distributed over a work-stealing pool in chunks of
+/// CampaignConfig::batch_size.
 ///
 /// Guarantee: for the same CampaignConfig seed/injection knobs, run() is
 /// bit-identical to run_campaign() — same per-flip-flop class counts and
@@ -39,6 +43,43 @@
 #include "sim/runner.hpp"
 
 namespace ffr::fault {
+
+/// One planned pass of the engine's adaptive schedule: jobs
+/// [job_begin, job_end) run as `blocks` SIMD lane blocks of `width` fault
+/// lanes each. Only the final pass of a schedule may be masked
+/// (job_end - job_begin < width * blocks).
+struct PlannedPass {
+  std::size_t width = sim::kNumLanes;  ///< Fault lanes per block (64/256/512).
+  std::size_t blocks = 1;              ///< Lane blocks swept in this pass.
+  std::size_t job_begin = 0;           ///< First job (inclusive).
+  std::size_t job_end = 0;             ///< Last job (exclusive).
+};
+
+/// Plans the engine's passes over a `num_jobs`-injection job list whose full
+/// shape is `full_blocks` blocks of `full_width` lanes. Full-shape passes
+/// are emitted while whole ones fit; the remaining tail is re-sliced
+/// widest-first into narrower shapes (a 70-job tail at 512 lanes runs as
+/// two 64-lane passes instead of one mostly-masked 512-lane pass — narrower
+/// SIMD kernels are cheaper per pass, and empty lanes still pay full cost).
+/// With full_width == 64 and full_blocks == 1 the schedule degenerates to
+/// exactly ceil(num_jobs / 64) scalar passes: the reference path is never
+/// re-shaped. Deterministic — depends only on the arguments, never the host.
+[[nodiscard]] std::vector<PlannedPass> build_pass_schedule(std::size_t num_jobs,
+                                                           std::size_t full_width,
+                                                           std::size_t full_blocks);
+
+/// Resolves CampaignConfig::blocks_per_pass for a campaign at `width_lanes`
+/// over a `num_nets`-net circuit. 0 = auto: 1 at the 64-lane reference width
+/// (the scalar differential path is never widened implicitly), otherwise the
+/// largest power-of-two block count whose per-pass net-state footprint
+/// (num_nets * width_lanes / 8 bytes per block) stays within a fixed
+/// cache-class budget — a deterministic rule, so schedules and counters are
+/// machine-independent. Explicit requests above sim::kMaxLaneBlocksPerPass
+/// are clamped with a warning written to `*warning` (when non-null).
+[[nodiscard]] std::size_t resolve_blocks_per_pass(std::size_t requested,
+                                                  std::size_t width_lanes,
+                                                  std::size_t num_nets,
+                                                  std::string* warning = nullptr);
 
 class CampaignEngine {
  public:

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <span>
 #include <stdexcept>
 
 namespace ffr::sim {
@@ -20,23 +21,25 @@ class PacketMonitor {
 
   /// Seeds every lane with the golden progress at a checkpoint: the frames
   /// completed before the resume cycle plus the partially received frame.
-  void seed(const FrameList& frames, const std::vector<std::uint8_t>& open_bytes,
-            bool frame_open) {
+  void seed(std::span<const Frame> frames,
+            const std::vector<std::uint8_t>& open_bytes, bool frame_open) {
     for (LaneState& state : lanes_) {
-      state.frames = frames;
+      state.frames.assign(frames.begin(), frames.end());
       state.current = Frame{};
       state.current.bytes = open_bytes;
       state.open = frame_open;
     }
   }
 
-  /// Captures lane 0's progress (frames so far + partial frame) for a
-  /// golden checkpoint. While a frame is in flight only its bytes carry
-  /// state: err/end_cycle are assigned at close time.
-  void snapshot(FrameList& frames, std::vector<std::uint8_t>& open_bytes,
-                bool& frame_open) const {
+  /// Captures lane 0's progress for a golden checkpoint: the count of
+  /// frames completed so far (the frames themselves live once in
+  /// GoldenCheckpoints::golden_frames) plus the partial frame. While a
+  /// frame is in flight only its bytes carry state: err/end_cycle are
+  /// assigned at close time.
+  void snapshot(std::size_t& frames_completed,
+                std::vector<std::uint8_t>& open_bytes, bool& frame_open) const {
     const LaneState& lane0 = lanes_.front();
-    frames = lane0.frames;
+    frames_completed = lane0.frames.size();
     open_bytes = lane0.current.bytes;
     frame_open = lane0.open;
   }
@@ -113,15 +116,67 @@ class PacketMonitor {
 
 }  // namespace
 
-const GoldenCheckpoints::Snapshot& GoldenCheckpoints::at_or_before(
-    std::size_t cycle) const {
+void GoldenCheckpoints::begin_recording(std::size_t ffs, std::size_t loopbacks) {
+  num_ffs = ffs;
+  num_loopbacks = loopbacks;
+  golden_frames.clear();
+  snapshots.clear();
+  state_bits.clear();
+}
+
+GoldenCheckpoints::Snapshot& GoldenCheckpoints::add_snapshot(std::size_t cycle) {
+  Snapshot& snap = snapshots.emplace_back();
+  snap.cycle = cycle;
+  state_bits.resize(state_bits.size() + state_stride(), 0);
+  return snap;
+}
+
+std::size_t GoldenCheckpoints::index_at_or_before(std::size_t cycle) const {
   if (snapshots.empty() || interval == 0) {
     throw std::logic_error("GoldenCheckpoints: no snapshots recorded");
   }
   // Snapshots sit at k * interval, so the latest one not after `cycle` is
   // directly indexable.
-  const std::size_t index = std::min(cycle / interval, snapshots.size() - 1);
-  return snapshots[index];
+  return std::min(cycle / interval, snapshots.size() - 1);
+}
+
+namespace {
+
+/// Heap bytes of a frame stream: per-frame payloads plus Frame bookkeeping.
+std::size_t frame_stream_bytes(std::span<const Frame> frames) {
+  std::size_t bytes = frames.size() * sizeof(Frame);
+  for (const Frame& frame : frames) bytes += frame.bytes.size();
+  return bytes;
+}
+
+}  // namespace
+
+std::size_t GoldenCheckpoints::memory_bytes() const noexcept {
+  std::size_t bytes = sizeof(*this);
+  bytes += state_bits.size() * sizeof(std::uint64_t);
+  bytes += snapshots.size() * sizeof(Snapshot);
+  for (const Snapshot& snap : snapshots) bytes += snap.open_bytes.size();
+  bytes += frame_stream_bytes(golden_frames);
+  return bytes;
+}
+
+std::size_t GoldenCheckpoints::broadcast_word_bytes() const noexcept {
+  // Reconstructs the footprint of the pre-packed layout: each snapshot held
+  // one 64-bit broadcast word per FF and per loopback plus a private copy of
+  // the frames completed before its cycle.
+  std::size_t bytes = sizeof(interval) + sizeof(std::vector<Snapshot>);
+  std::size_t prefix_bytes = 0;
+  std::size_t frame = 0;
+  for (const Snapshot& snap : snapshots) {
+    while (frame < snap.frames_completed && frame < golden_frames.size()) {
+      prefix_bytes += sizeof(Frame) + golden_frames[frame].bytes.size();
+      ++frame;
+    }
+    bytes += sizeof(Snapshot) + 2 * sizeof(std::vector<Lanes>) + sizeof(FrameList);
+    bytes += (num_ffs + num_loopbacks) * sizeof(Lanes);
+    bytes += prefix_bytes + snap.open_bytes.size();
+  }
+  return bytes;
 }
 
 CompiledStimulus::CompiledStimulus(const netlist::Netlist& nl, const Testbench& tb)
@@ -170,7 +225,7 @@ RunResult ReplayRunner::run(std::span<const InjectionEvent> injections,
       throw std::invalid_argument(
           "ReplayRunner: checkpoint interval exceeds the testbench length");
     }
-    options.record->snapshots.clear();
+    options.record->begin_recording(nl.flip_flops().size(), tb.loopbacks.size());
   }
   if (options.resume != nullptr && options.trace_activity) {
     throw std::invalid_argument(
@@ -199,16 +254,27 @@ RunResult ReplayRunner::run(std::span<const InjectionEvent> injections,
   // so restoring golden state + monitor progress loses nothing.
   std::size_t start_cycle = 0;
   if (options.resume != nullptr && !schedule_.empty()) {
-    const GoldenCheckpoints::Snapshot& snap =
-        options.resume->at_or_before(schedule_.front().cycle);
-    if (snap.loopback_values.size() != loop_values_.size()) {
+    const GoldenCheckpoints& ckpts = *options.resume;
+    const std::size_t index = ckpts.index_at_or_before(schedule_.front().cycle);
+    const GoldenCheckpoints::Snapshot& snap = ckpts.snapshots[index];
+    if (ckpts.num_loopbacks != loop_values_.size()) {
       throw std::invalid_argument(
           "ReplayRunner: checkpoint/testbench loopback mismatch");
     }
     start_cycle = snap.cycle;
-    sim_.restore_ff_state(snap.ff_state);
-    loop_values_.assign(snap.loopback_values.begin(), snap.loopback_values.end());
-    monitor.seed(snap.frames, snap.open_bytes, snap.frame_open);
+    // Splat each packed golden bit back to a 64-lane broadcast word.
+    restore_state_.resize(ckpts.num_ffs);
+    for (std::size_t i = 0; i < ckpts.num_ffs; ++i) {
+      restore_state_[i] = broadcast(ckpts.ff_bit(index, i));
+    }
+    sim_.restore_ff_state(restore_state_);
+    for (std::size_t i = 0; i < loop_values_.size(); ++i) {
+      loop_values_[i] = broadcast(ckpts.loopback_bit(index, i));
+    }
+    monitor.seed(std::span<const Frame>(ckpts.golden_frames)
+                     .first(std::min(snap.frames_completed,
+                                     ckpts.golden_frames.size())),
+                 snap.open_bytes, snap.frame_open);
   } else {
     sim_.reset();
   }
@@ -228,11 +294,17 @@ RunResult ReplayRunner::run(std::span<const InjectionEvent> injections,
   const auto pis = nl.primary_inputs();
   for (std::size_t cycle = start_cycle; cycle < num_cycles; ++cycle) {
     if (options.record != nullptr && cycle % options.record->interval == 0) {
-      GoldenCheckpoints::Snapshot& snap = options.record->snapshots.emplace_back();
-      snap.cycle = cycle;
-      sim_.snapshot_ff_state(snap.ff_state);
-      snap.loopback_values = loop_values_;
-      monitor.snapshot(snap.frames, snap.open_bytes, snap.frame_open);
+      GoldenCheckpoints& rec = *options.record;
+      GoldenCheckpoints::Snapshot& snap = rec.add_snapshot(cycle);
+      const std::size_t index = rec.snapshots.size() - 1;
+      // Golden state is broadcast, so lane 0's bit is every lane's bit.
+      for (std::size_t i = 0; i < ffs.size(); ++i) {
+        if (sim_.ff_state(ffs[i]) & 1u) rec.set_state_bit(index, i);
+      }
+      for (std::size_t i = 0; i < loop_values_.size(); ++i) {
+        if (loop_values_[i] & 1u) rec.set_state_bit(index, ffs.size() + i);
+      }
+      monitor.snapshot(snap.frames_completed, snap.open_bytes, snap.frame_open);
     }
     for (std::size_t i = 0; i < pis.size(); ++i) {
       sim_.set_input(pis[i], stim_->input(cycle, i));
@@ -267,6 +339,10 @@ RunResult ReplayRunner::run(std::span<const InjectionEvent> injections,
 
   RunResult result;
   result.lane_frames = monitor.finish();
+  if (options.record != nullptr) {
+    // The shared frame stream every snapshot's frames_completed indexes into.
+    options.record->golden_frames = result.lane_frames[0];
+  }
   result.activity = std::move(activity);
   result.eval_count = sim_.eval_count() - evals_before;
   result.cycles_simulated = num_cycles - start_cycle;

@@ -33,30 +33,86 @@ struct ActivityTrace {
 
 /// Golden-state checkpoints recorded during a fault-free run, shared by
 /// every fault pass that replays the same (netlist, testbench) pair. A
-/// snapshot at cycle C captures everything a ReplayRunner needs to resume
+/// snapshot at cycle C captures everything a replay runner needs to resume
 /// simulation at the top of cycle C: flip-flop state, pending loopback
 /// values and the packet monitor's progress (frames completed before C plus
-/// the bytes of the frame in flight). Golden words are broadcast (all 64
-/// lanes identical), so one snapshot seeds every lane of a resumed pass —
-/// including the W * 64 lanes of a SIMD lane-block pass, whose
-/// WideReplayRunner (wide_runner.hpp) restores whole blocks by splatting
-/// each broadcast word across its W words.
+/// the bytes of the frame in flight).
+///
+/// Golden state is broadcast (every lane computes the identical bit), so
+/// storage is bit-packed: one bit per flip-flop / loopback per snapshot in
+/// `state_bits` (~64x smaller than the previous one-64-bit-word-per-FF
+/// layout, and the natural wire format for shipping checkpoints to campaign
+/// shards). Restoring splats each bit back to a full broadcast word — or to
+/// a whole LaneBlock, which is how WideReplayRunner (wide_runner.hpp) seeds
+/// all W * 64 lanes of a SIMD lane-block pass from the same snapshot.
+/// Completed golden frames are likewise stored once (`golden_frames`);
+/// each snapshot keeps only the count of frames completed before its cycle.
 struct GoldenCheckpoints {
   struct Snapshot {
     std::size_t cycle = 0;                 ///< Resume point.
-    std::vector<Lanes> ff_state;           ///< Q per FF, Netlist::flip_flops order.
-    std::vector<Lanes> loopback_values;    ///< Pending loopback inputs.
-    FrameList frames;                      ///< Frames completed before `cycle`.
+    std::size_t frames_completed = 0;      ///< golden_frames prefix before `cycle`.
     std::vector<std::uint8_t> open_bytes;  ///< Bytes of the frame in flight.
     bool frame_open = false;               ///< A frame is open mid-stream.
   };
 
-  std::size_t interval = 0;         ///< Cycles between snapshots.
+  std::size_t interval = 0;       ///< Cycles between snapshots.
+  std::size_t num_ffs = 0;        ///< Flip-flops per snapshot (flip_flops order).
+  std::size_t num_loopbacks = 0;  ///< Loopback registers per snapshot.
+  FrameList golden_frames;        ///< All golden frames, shared by snapshots.
   std::vector<Snapshot> snapshots;  ///< snapshots[k].cycle == k * interval.
+  /// Packed state, snapshot-major: snapshot k occupies words
+  /// [k * state_stride(), (k + 1) * state_stride()). Within a snapshot, bit
+  /// i is flip-flop i's Q and bit num_ffs + j is loopback j's pending value.
+  std::vector<std::uint64_t> state_bits;
 
-  /// Latest snapshot with snapshot.cycle <= `cycle` (the cycle-0 snapshot
-  /// always exists after recording). \throws std::logic_error when empty.
-  [[nodiscard]] const Snapshot& at_or_before(std::size_t cycle) const;
+  /// 64-bit words per snapshot in `state_bits`.
+  [[nodiscard]] std::size_t state_stride() const noexcept {
+    return (num_ffs + num_loopbacks + 63) / 64;
+  }
+
+  /// Prepares for a fresh recording run: clears prior snapshots/frames and
+  /// fixes the packed layout. `interval` is left as configured.
+  void begin_recording(std::size_t ffs, std::size_t loopbacks);
+
+  /// Appends the snapshot for `cycle` (zeroed state bits) and returns it.
+  Snapshot& add_snapshot(std::size_t cycle);
+
+  /// Sets packed bit `index` of snapshot `snapshot` (recording helper).
+  void set_state_bit(std::size_t snapshot, std::size_t index) {
+    state_bits[snapshot * state_stride() + index / 64] |=
+        std::uint64_t{1} << (index % 64);
+  }
+
+  /// Flip-flop i's golden Q bit at snapshot k.
+  [[nodiscard]] bool ff_bit(std::size_t snapshot, std::size_t ff) const {
+    return (state_bits[snapshot * state_stride() + ff / 64] >> (ff % 64)) & 1u;
+  }
+
+  /// Loopback j's pending golden value at snapshot k.
+  [[nodiscard]] bool loopback_bit(std::size_t snapshot, std::size_t loopback) const {
+    return ff_bit(snapshot, num_ffs + loopback);
+  }
+
+  /// Index of the latest snapshot with snapshot.cycle <= `cycle` (the
+  /// cycle-0 snapshot always exists after recording).
+  /// \throws std::logic_error when empty.
+  [[nodiscard]] std::size_t index_at_or_before(std::size_t cycle) const;
+
+  /// Latest snapshot with snapshot.cycle <= `cycle`.
+  /// \throws std::logic_error when empty.
+  [[nodiscard]] const Snapshot& at_or_before(std::size_t cycle) const {
+    return snapshots[index_at_or_before(cycle)];
+  }
+
+  /// Actual bytes held by this (packed) representation: packed state words,
+  /// snapshot bookkeeping and the shared golden frame stream.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+  /// Bytes the same snapshots would occupy in the pre-packed layout (one
+  /// broadcast 64-bit word per FF/loopback per snapshot, plus a private
+  /// copy of the completed-frame prefix per snapshot). The honest baseline
+  /// for the packing ratio reported by the campaign bench.
+  [[nodiscard]] std::size_t broadcast_word_bytes() const noexcept;
 };
 
 struct RunResult {
@@ -147,6 +203,7 @@ class ReplayRunner {
   std::vector<InjectionEvent> schedule_;  // scratch, reused across runs
   std::vector<Lanes> loop_values_;        // scratch
   std::vector<Lanes> prev_q_;             // scratch for activity tracing
+  std::vector<Lanes> restore_state_;      // scratch for checkpoint restore
 };
 
 /// Fault-free reference run: frames of lane 0 plus the activity trace.

@@ -8,82 +8,99 @@ namespace ffr::sim {
 
 namespace {
 
-/// Incremental per-lane frame extraction over a lane block: the W-word
+/// Incremental per-lane frame extraction over `blocks` lane blocks: the
 /// generalization of runner.cpp's PacketMonitor (which stays scalar and
-/// untouched as the reference). Lane L of word w is global lane w * 64 + L.
+/// untouched as the reference). Lane L of word w in block b is global lane
+/// b * W * 64 + w * 64 + L.
 template <std::size_t W>
 class WidePacketMonitor {
  public:
   using Block = LaneBlock<W>;
 
-  explicit WidePacketMonitor(const PacketMonitorSpec& spec) : spec_(&spec) {
+  WidePacketMonitor(const PacketMonitorSpec& spec, std::size_t blocks)
+      : spec_(&spec), blocks_(blocks) {
     if (spec.valid == netlist::kNoNet || spec.data.empty()) {
       throw std::invalid_argument("WidePacketMonitor: incomplete monitor spec");
     }
-    lanes_.resize(Block::kLanes);
+    lanes_.resize(blocks * Block::kLanes);
   }
 
   /// Seeds every lane with the golden progress at a checkpoint (the golden
-  /// prefix is identical on all lanes, so one snapshot seeds the block).
-  void seed(const FrameList& frames, const std::vector<std::uint8_t>& open_bytes,
-            bool frame_open) {
+  /// prefix is identical on all lanes, so one snapshot seeds every block).
+  void seed(std::span<const Frame> frames,
+            const std::vector<std::uint8_t>& open_bytes, bool frame_open) {
     for (LaneState& state : lanes_) {
-      state.frames = frames;
+      state.frames.assign(frames.begin(), frames.end());
       state.current = Frame{};
       state.current.bytes = open_bytes;
       state.open = frame_open;
     }
   }
 
+  /// Captures lane 0's progress for a golden checkpoint (see the scalar
+  /// PacketMonitor::snapshot contract in runner.cpp).
+  void snapshot(std::size_t& frames_completed,
+                std::vector<std::uint8_t>& open_bytes, bool& frame_open) const {
+    const LaneState& lane0 = lanes_.front();
+    frames_completed = lane0.frames.size();
+    open_bytes = lane0.current.bytes;
+    frame_open = lane0.open;
+  }
+
   void observe(const WideSimulator<W>& simulator, std::size_t cycle) {
-    const Block& valid = simulator.value(spec_->valid);
-    if (!any(valid)) return;
-    const Block& sop = simulator.value(spec_->sop);
-    const Block& eop = simulator.value(spec_->eop);
-    const Block& err = simulator.value(spec_->err);
-    const std::size_t width = std::min<std::size_t>(spec_->data.size(), 8);
-    const Block* data_bits[8] = {};
-    for (std::size_t b = 0; b < width; ++b) {
-      data_bits[b] = &simulator.value(spec_->data[b]);
-    }
-    for (std::size_t w = 0; w < W; ++w) {
-      std::uint64_t remaining = valid.word(w);
-      while (remaining != 0) {
-        const int lane = std::countr_zero(remaining);
-        remaining &= remaining - 1;
-        LaneState& state = lanes_[w * 64 + static_cast<std::size_t>(lane)];
-        const std::uint64_t bit = std::uint64_t{1} << lane;
-        if (eop.word(w) & bit) {
-          // End marker: close the open frame (or record a headless end).
-          state.current.err = (err.word(w) & bit) != 0;
-          state.current.end_cycle = cycle;
-          state.frames.push_back(std::move(state.current));
-          state.current = Frame{};
-          state.open = false;
-          continue;
-        }
-        if (sop.word(w) & bit) {
-          if (state.open) {
-            // Truncated previous frame (no end marker): emit as errored.
-            state.current.err = true;
+    for (std::size_t blk = 0; blk < blocks_; ++blk) {
+      const Block& valid = simulator.value(spec_->valid, blk);
+      if (!any(valid)) continue;
+      const Block& sop = simulator.value(spec_->sop, blk);
+      const Block& eop = simulator.value(spec_->eop, blk);
+      const Block& err = simulator.value(spec_->err, blk);
+      const std::size_t width = std::min<std::size_t>(spec_->data.size(), 8);
+      const Block* data_bits[8] = {};
+      for (std::size_t b = 0; b < width; ++b) {
+        data_bits[b] = &simulator.value(spec_->data[b], blk);
+      }
+      for (std::size_t w = 0; w < W; ++w) {
+        std::uint64_t remaining = valid.word(w);
+        while (remaining != 0) {
+          const int lane = std::countr_zero(remaining);
+          remaining &= remaining - 1;
+          LaneState& state =
+              lanes_[blk * Block::kLanes + w * 64 + static_cast<std::size_t>(lane)];
+          const std::uint64_t bit = std::uint64_t{1} << lane;
+          if (eop.word(w) & bit) {
+            // End marker: close the open frame (or record a headless end).
+            state.current.err = (err.word(w) & bit) != 0;
             state.current.end_cycle = cycle;
             state.frames.push_back(std::move(state.current));
             state.current = Frame{};
+            state.open = false;
+            continue;
           }
-          state.open = true;
+          if (sop.word(w) & bit) {
+            if (state.open) {
+              // Truncated previous frame (no end marker): emit as errored.
+              state.current.err = true;
+              state.current.end_cycle = cycle;
+              state.frames.push_back(std::move(state.current));
+              state.current = Frame{};
+            }
+            state.open = true;
+          }
+          std::uint8_t byte = 0;
+          for (std::size_t b = 0; b < width; ++b) {
+            if (data_bits[b]->word(w) & bit) {
+              byte |= static_cast<std::uint8_t>(1u << b);
+            }
+          }
+          state.current.bytes.push_back(byte);
         }
-        std::uint8_t byte = 0;
-        for (std::size_t b = 0; b < width; ++b) {
-          if (data_bits[b]->word(w) & bit) byte |= static_cast<std::uint8_t>(1u << b);
-        }
-        state.current.bytes.push_back(byte);
       }
     }
   }
 
   [[nodiscard]] std::vector<FrameList> finish() {
     std::vector<FrameList> result;
-    result.reserve(Block::kLanes);
+    result.reserve(lanes_.size());
     for (LaneState& state : lanes_) {
       if (state.open && !state.current.bytes.empty()) {
         // Frame left open at end of simulation: the circuit stopped
@@ -104,14 +121,16 @@ class WidePacketMonitor {
   };
 
   const PacketMonitorSpec* spec_;
+  std::size_t blocks_;
   std::vector<LaneState> lanes_;
 };
 
 }  // namespace
 
 template <std::size_t W>
-WideReplayRunner<W>::WideReplayRunner(const CompiledStimulus& stimulus)
-    : stim_(&stimulus), sim_(stimulus.netlist()) {}
+WideReplayRunner<W>::WideReplayRunner(const CompiledStimulus& stimulus,
+                                      std::size_t blocks)
+    : stim_(&stimulus), sim_(stimulus.netlist(), blocks) {}
 
 template <std::size_t W>
 RunResult WideReplayRunner<W>::run(std::span<const LaneInjection> injections,
@@ -119,13 +138,37 @@ RunResult WideReplayRunner<W>::run(std::span<const LaneInjection> injections,
   const netlist::Netlist& nl = stim_->netlist();
   const Testbench& tb = stim_->testbench();
   const std::size_t num_cycles = stim_->num_cycles();
+  const std::size_t blocks = sim_.num_blocks();
   for (const LaneInjection& ev : injections) {
     if (ev.cycle >= num_cycles) {
       throw std::invalid_argument("WideReplayRunner: injection beyond end of run");
     }
-    if (ev.lane >= kLanes) {
+    if (ev.lane >= lanes()) {
       throw std::invalid_argument("WideReplayRunner: injection lane out of block");
     }
+  }
+  if (options.record != nullptr) {
+    if (!injections.empty()) {
+      throw std::invalid_argument(
+          "WideReplayRunner: checkpoint recording requires a fault-free run");
+    }
+    if (options.resume != nullptr) {
+      throw std::invalid_argument(
+          "WideReplayRunner: cannot record and resume in the same run");
+    }
+    if (options.record->interval == 0) {
+      throw std::invalid_argument(
+          "WideReplayRunner: checkpoint interval must be >= 1");
+    }
+    if (options.record->interval > num_cycles) {
+      throw std::invalid_argument(
+          "WideReplayRunner: checkpoint interval exceeds the testbench length");
+    }
+    options.record->begin_recording(nl.flip_flops().size(), tb.loopbacks.size());
+  }
+  if (options.resume != nullptr && options.trace_activity) {
+    throw std::invalid_argument(
+        "WideReplayRunner: activity tracing requires a full replay from reset");
   }
 
   // Injection schedule sorted by cycle for a single sweep.
@@ -137,52 +180,90 @@ RunResult WideReplayRunner<W>::run(std::span<const LaneInjection> injections,
 
   const std::uint64_t evals_before = sim_.eval_count();
   const std::uint64_t ops_before = sim_.ops_evaluated();
-  WidePacketMonitor<W> monitor(tb.monitor);
+  WidePacketMonitor<W> monitor(tb.monitor, blocks);
 
   // Loopback registers, driven with their idle value on the first cycle.
-  loop_values_.resize(tb.loopbacks.size());
+  loop_values_.resize(tb.loopbacks.size() * blocks);
   for (std::size_t i = 0; i < tb.loopbacks.size(); ++i) {
-    loop_values_[i] = Block::splat(broadcast(tb.loopbacks[i].initial));
+    const Block initial = Block::splat(broadcast(tb.loopbacks[i].initial));
+    for (std::size_t b = 0; b < blocks; ++b) loop_values_[i * blocks + b] = initial;
   }
 
   // Start point: reset, or the latest golden checkpoint not after the first
-  // injection. Golden snapshot words are broadcast (all 64 lanes identical),
-  // so splatting each word across the block restores whole blocks whose
-  // W * 64 lanes all sit on the golden prefix.
+  // injection. Golden state is identical on every lane by construction, so
+  // splatting each packed snapshot bit across whole blocks restores
+  // blocks * W * 64 lanes all sitting on the golden prefix.
   std::size_t start_cycle = 0;
   if (options.resume != nullptr && !schedule_.empty()) {
-    const GoldenCheckpoints::Snapshot& snap =
-        options.resume->at_or_before(schedule_.front().cycle);
-    if (snap.loopback_values.size() != loop_values_.size()) {
+    const GoldenCheckpoints& ckpts = *options.resume;
+    const std::size_t index = ckpts.index_at_or_before(schedule_.front().cycle);
+    const GoldenCheckpoints::Snapshot& snap = ckpts.snapshots[index];
+    if (ckpts.num_loopbacks != tb.loopbacks.size()) {
       throw std::invalid_argument(
           "WideReplayRunner: checkpoint/testbench loopback mismatch");
     }
     start_cycle = snap.cycle;
-    restore_state_.resize(snap.ff_state.size());
-    for (std::size_t i = 0; i < snap.ff_state.size(); ++i) {
-      restore_state_[i] = Block::splat(snap.ff_state[i]);
+    restore_state_.resize(ckpts.num_ffs * blocks);
+    for (std::size_t i = 0; i < ckpts.num_ffs; ++i) {
+      const Block value = ckpts.ff_bit(index, i) ? Block::ones() : Block::zero();
+      for (std::size_t b = 0; b < blocks; ++b) restore_state_[i * blocks + b] = value;
     }
     sim_.restore_ff_state(restore_state_);
-    for (std::size_t i = 0; i < snap.loopback_values.size(); ++i) {
-      loop_values_[i] = Block::splat(snap.loopback_values[i]);
+    for (std::size_t i = 0; i < tb.loopbacks.size(); ++i) {
+      const Block value =
+          ckpts.loopback_bit(index, i) ? Block::ones() : Block::zero();
+      for (std::size_t b = 0; b < blocks; ++b) loop_values_[i * blocks + b] = value;
     }
-    monitor.seed(snap.frames, snap.open_bytes, snap.frame_open);
+    monitor.seed(std::span<const Frame>(ckpts.golden_frames)
+                     .first(std::min(snap.frames_completed,
+                                     ckpts.golden_frames.size())),
+                 snap.open_bytes, snap.frame_open);
   } else {
     sim_.reset();
+  }
+
+  const auto ffs = nl.flip_flops();
+  ActivityTrace activity;
+  if (options.trace_activity) {
+    activity.cycles_at_1.assign(ffs.size(), 0);
+    activity.state_changes.assign(ffs.size(), 0);
+    prev_q_.resize(ffs.size());
+    for (std::size_t i = 0; i < ffs.size(); ++i) {
+      prev_q_[i] = static_cast<std::uint8_t>(sim_.ff_state(ffs[i]).word(0) & 1u);
+    }
   }
 
   std::size_t next_event = 0;
   const auto pis = nl.primary_inputs();
   for (std::size_t cycle = start_cycle; cycle < num_cycles; ++cycle) {
+    if (options.record != nullptr && cycle % options.record->interval == 0) {
+      GoldenCheckpoints& rec = *options.record;
+      GoldenCheckpoints::Snapshot& snap = rec.add_snapshot(cycle);
+      const std::size_t index = rec.snapshots.size() - 1;
+      // Golden state is broadcast, so lane 0's bit is every lane's bit.
+      for (std::size_t i = 0; i < ffs.size(); ++i) {
+        if (sim_.ff_state(ffs[i]).word(0) & 1u) rec.set_state_bit(index, i);
+      }
+      for (std::size_t i = 0; i < tb.loopbacks.size(); ++i) {
+        if (loop_values_[i * blocks].word(0) & 1u) {
+          rec.set_state_bit(index, ffs.size() + i);
+        }
+      }
+      monitor.snapshot(snap.frames_completed, snap.open_bytes, snap.frame_open);
+    }
     for (std::size_t i = 0; i < pis.size(); ++i) {
       sim_.set_input(pis[i], Block::splat(stim_->input(cycle, i)));
     }
     for (std::size_t i = 0; i < tb.loopbacks.size(); ++i) {
-      sim_.set_input(tb.loopbacks[i].to_input, loop_values_[i]);
+      for (std::size_t b = 0; b < blocks; ++b) {
+        sim_.set_input_block(tb.loopbacks[i].to_input, b,
+                             loop_values_[i * blocks + b]);
+      }
     }
     while (next_event < schedule_.size() && schedule_[next_event].cycle == cycle) {
+      const std::uint32_t lane = schedule_[next_event].lane;
       sim_.inject(schedule_[next_event].ff_cell,
-                  Block::lane_mask(schedule_[next_event].lane));
+                  Block::lane_mask(lane % Block::kLanes), lane / Block::kLanes);
       ++next_event;
     }
     if (options.incremental_eval) {
@@ -191,14 +272,31 @@ RunResult WideReplayRunner<W>::run(std::span<const LaneInjection> injections,
       sim_.eval();
     }
     monitor.observe(sim_, cycle);
+    if (options.trace_activity) {
+      for (std::size_t i = 0; i < ffs.size(); ++i) {
+        const std::uint8_t q =
+            static_cast<std::uint8_t>(sim_.ff_state(ffs[i]).word(0) & 1u);
+        activity.cycles_at_1[i] += q;
+        activity.state_changes[i] += static_cast<std::uint8_t>(q ^ prev_q_[i]);
+        prev_q_[i] = q;
+      }
+    }
     for (std::size_t i = 0; i < tb.loopbacks.size(); ++i) {
-      loop_values_[i] = sim_.value(tb.loopbacks[i].from_net);
+      for (std::size_t b = 0; b < blocks; ++b) {
+        loop_values_[i * blocks + b] = sim_.value(tb.loopbacks[i].from_net, b);
+      }
     }
     sim_.tick();
   }
+  if (options.trace_activity) activity.total_cycles = num_cycles;
 
   RunResult result;
   result.lane_frames = monitor.finish();
+  if (options.record != nullptr) {
+    // The shared frame stream every snapshot's frames_completed indexes into.
+    options.record->golden_frames = result.lane_frames[0];
+  }
+  result.activity = std::move(activity);
   result.eval_count = sim_.eval_count() - evals_before;
   result.cycles_simulated = num_cycles - start_cycle;
   result.ops_evaluated = sim_.ops_evaluated() - ops_before;

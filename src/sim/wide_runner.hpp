@@ -1,17 +1,18 @@
 #pragma once
 /// \file wide_runner.hpp
 /// \brief Block-wide testbench driver for campaign fault passes: the
-/// WideSimulator<W> counterpart of ReplayRunner. One run advances W * 64
-/// independent fault scenarios; stimulus words from the shared
-/// CompiledStimulus are splatted across the block, and a golden checkpoint
-/// resume restores whole blocks — every 64-lane golden word is broadcast by
-/// construction, so splatting it into the W words of a block reproduces the
-/// golden prefix on all W * 64 lanes bit-exactly.
+/// WideSimulator<W> counterpart of ReplayRunner. One run advances
+/// blocks * W * 64 independent fault scenarios; stimulus words from the
+/// shared CompiledStimulus are splatted across every block, and a golden
+/// checkpoint resume splats each packed golden bit into whole blocks —
+/// golden state is identical on every lane by construction, so the
+/// bit-per-FF snapshot reproduces the golden prefix on all lanes bit-exactly.
 ///
-/// The wide runner serves fault passes only: it supports checkpoint resume
-/// and incremental evaluation, but not checkpoint recording or activity
-/// tracing — those stay on the scalar golden path (runner.hpp), which is the
-/// differential reference for every wider width.
+/// Besides fault passes, the wide runner also carries the golden path:
+/// fault-free runs may record packed checkpoints and trace activity (the
+/// golden bit stream is the same on every lane, so lane 0 of block 0
+/// observes it). The scalar ReplayRunner (runner.hpp) stays untouched as
+/// the differential reference for both.
 
 #include <cstdint>
 #include <span>
@@ -23,8 +24,8 @@
 namespace ffr::sim {
 
 /// A scheduled single-event upset for a wide pass: flip `ff_cell` in the
-/// single lane `lane` (< W * 64) at the start of `cycle`. Single-lane by
-/// design — campaign passes inject exactly one fault per lane.
+/// single global lane `lane` (< blocks * W * 64) at the start of `cycle`.
+/// Single-lane by design — campaign passes inject exactly one fault per lane.
 struct LaneInjection {
   netlist::CellId ff_cell = netlist::kNoCell;
   std::uint32_t cycle = 0;
@@ -32,9 +33,15 @@ struct LaneInjection {
 };
 
 struct WideRunOptions {
+  /// Record per-FF activity of the golden bit stream (lane 0 of block 0).
+  /// Fault-free full replays only, like RunOptions::trace_activity.
+  bool trace_activity = false;
+  /// Record packed golden checkpoints every `record->interval` cycles (see
+  /// RunOptions::record). Fault-free runs only; incompatible with resume.
+  GoldenCheckpoints* record = nullptr;
   /// Resume from the latest golden checkpoint at or before the earliest
   /// injection instead of replaying from reset (see RunOptions::resume).
-  /// Ignored when the schedule is empty.
+  /// Ignored when the schedule is empty. Incompatible with trace_activity.
   const GoldenCheckpoints* resume = nullptr;
   /// Use dirty-set eval_incremental() per cycle instead of the full sweep.
   bool incremental_eval = false;
@@ -49,13 +56,23 @@ template <std::size_t W>
 class WideReplayRunner {
  public:
   using Block = LaneBlock<W>;
+  /// Lanes per single block; a run spans lanes() = blocks * kLanes lanes.
   static constexpr std::size_t kLanes = Block::kLanes;
 
-  explicit WideReplayRunner(const CompiledStimulus& stimulus);
+  /// \throws std::invalid_argument when blocks is 0 or exceeds
+  /// kMaxLaneBlocksPerPass.
+  explicit WideReplayRunner(const CompiledStimulus& stimulus,
+                            std::size_t blocks = 1);
+
+  [[nodiscard]] std::size_t num_blocks() const noexcept {
+    return sim_.num_blocks();
+  }
+  [[nodiscard]] std::size_t lanes() const noexcept { return sim_.lanes(); }
 
   /// Replays the testbench with the given fault schedule (from reset, or
   /// from a golden checkpoint when options.resume is set). The returned
-  /// RunResult carries W * 64 lane frame streams and no activity trace.
+  /// RunResult carries lanes() frame streams, global-lane indexed (lane L
+  /// lives in block L / kLanes, in-block lane L % kLanes).
   [[nodiscard]] RunResult run(std::span<const LaneInjection> injections = {},
                               const WideRunOptions& options = {});
 
@@ -68,8 +85,9 @@ class WideReplayRunner {
   const CompiledStimulus* stim_;
   WideSimulator<W> sim_;
   std::vector<LaneInjection> schedule_;  // scratch, reused across runs
-  std::vector<Block> loop_values_;       // scratch
+  std::vector<Block> loop_values_;       // scratch, loopback-major
   std::vector<Block> restore_state_;     // scratch for block-splat restores
+  std::vector<std::uint8_t> prev_q_;     // scratch for activity tracing
 };
 
 extern template class WideReplayRunner<1>;

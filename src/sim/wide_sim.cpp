@@ -11,50 +11,181 @@ namespace {
 
 /// Block-wide gate kernel: the same truth tables as the scalar compute_op in
 /// packed_sim.cpp, expressed over LaneBlock operators so one evaluation
-/// advances W * 64 lanes. Kept internal-linkage so each translation unit
-/// compiles it at its own vector width.
+/// advances W * 64 lanes per block. The operand pointers are formed once per
+/// op and the block loop runs inside each case: `blocks` independent SIMD
+/// ops on contiguous storage, which keeps the vector units busy once the
+/// register width itself is exhausted. Kept internal-linkage so each
+/// translation unit compiles it at its own vector width.
 template <std::size_t W>
-[[nodiscard]] LaneBlock<W> compute_op(CellFunc func, const netlist::NetId* in,
-                                      const LaneBlock<W>* v) {
+void eval_op_blocks(CellFunc func, const netlist::NetId* in,
+                    const LaneBlock<W>* v, std::size_t blocks,
+                    LaneBlock<W>* out) {
+  using B = LaneBlock<W>;
+  const auto arg = [&](std::size_t k) {
+    return v + static_cast<std::size_t>(in[k]) * blocks;
+  };
   switch (func) {
-    case CellFunc::kConst0: return LaneBlock<W>::zero();
-    case CellFunc::kConst1: return LaneBlock<W>::ones();
-    case CellFunc::kBuf: return v[in[0]];
-    case CellFunc::kInv: return ~v[in[0]];
-    case CellFunc::kAnd2: return v[in[0]] & v[in[1]];
-    case CellFunc::kAnd3: return v[in[0]] & v[in[1]] & v[in[2]];
-    case CellFunc::kAnd4: return v[in[0]] & v[in[1]] & v[in[2]] & v[in[3]];
-    case CellFunc::kNand2: return ~(v[in[0]] & v[in[1]]);
-    case CellFunc::kNand3: return ~(v[in[0]] & v[in[1]] & v[in[2]]);
-    case CellFunc::kNand4: return ~(v[in[0]] & v[in[1]] & v[in[2]] & v[in[3]]);
-    case CellFunc::kOr2: return v[in[0]] | v[in[1]];
-    case CellFunc::kOr3: return v[in[0]] | v[in[1]] | v[in[2]];
-    case CellFunc::kOr4: return v[in[0]] | v[in[1]] | v[in[2]] | v[in[3]];
-    case CellFunc::kNor2: return ~(v[in[0]] | v[in[1]]);
-    case CellFunc::kNor3: return ~(v[in[0]] | v[in[1]] | v[in[2]]);
-    case CellFunc::kNor4: return ~(v[in[0]] | v[in[1]] | v[in[2]] | v[in[3]]);
-    case CellFunc::kXor2: return v[in[0]] ^ v[in[1]];
-    case CellFunc::kXnor2: return ~(v[in[0]] ^ v[in[1]]);
-    case CellFunc::kMux2: {
-      const LaneBlock<W>& sel = v[in[2]];
-      return (sel & v[in[1]]) | (~sel & v[in[0]]);
+    case CellFunc::kConst0:
+      for (std::size_t b = 0; b < blocks; ++b) out[b] = B::zero();
+      return;
+    case CellFunc::kConst1:
+      for (std::size_t b = 0; b < blocks; ++b) out[b] = B::ones();
+      return;
+    case CellFunc::kBuf: {
+      const B* a = arg(0);
+      for (std::size_t b = 0; b < blocks; ++b) out[b] = a[b];
+      return;
     }
-    case CellFunc::kAoi21: return ~((v[in[0]] & v[in[1]]) | v[in[2]]);
-    case CellFunc::kOai21: return ~((v[in[0]] | v[in[1]]) & v[in[2]]);
+    case CellFunc::kInv: {
+      const B* a = arg(0);
+      for (std::size_t b = 0; b < blocks; ++b) out[b] = ~a[b];
+      return;
+    }
+    case CellFunc::kAnd2: {
+      const B* a = arg(0);
+      const B* c = arg(1);
+      for (std::size_t b = 0; b < blocks; ++b) out[b] = a[b] & c[b];
+      return;
+    }
+    case CellFunc::kAnd3: {
+      const B* a = arg(0);
+      const B* c = arg(1);
+      const B* d = arg(2);
+      for (std::size_t b = 0; b < blocks; ++b) out[b] = a[b] & c[b] & d[b];
+      return;
+    }
+    case CellFunc::kAnd4: {
+      const B* a = arg(0);
+      const B* c = arg(1);
+      const B* d = arg(2);
+      const B* e = arg(3);
+      for (std::size_t b = 0; b < blocks; ++b) {
+        out[b] = a[b] & c[b] & d[b] & e[b];
+      }
+      return;
+    }
+    case CellFunc::kNand2: {
+      const B* a = arg(0);
+      const B* c = arg(1);
+      for (std::size_t b = 0; b < blocks; ++b) out[b] = ~(a[b] & c[b]);
+      return;
+    }
+    case CellFunc::kNand3: {
+      const B* a = arg(0);
+      const B* c = arg(1);
+      const B* d = arg(2);
+      for (std::size_t b = 0; b < blocks; ++b) out[b] = ~(a[b] & c[b] & d[b]);
+      return;
+    }
+    case CellFunc::kNand4: {
+      const B* a = arg(0);
+      const B* c = arg(1);
+      const B* d = arg(2);
+      const B* e = arg(3);
+      for (std::size_t b = 0; b < blocks; ++b) {
+        out[b] = ~(a[b] & c[b] & d[b] & e[b]);
+      }
+      return;
+    }
+    case CellFunc::kOr2: {
+      const B* a = arg(0);
+      const B* c = arg(1);
+      for (std::size_t b = 0; b < blocks; ++b) out[b] = a[b] | c[b];
+      return;
+    }
+    case CellFunc::kOr3: {
+      const B* a = arg(0);
+      const B* c = arg(1);
+      const B* d = arg(2);
+      for (std::size_t b = 0; b < blocks; ++b) out[b] = a[b] | c[b] | d[b];
+      return;
+    }
+    case CellFunc::kOr4: {
+      const B* a = arg(0);
+      const B* c = arg(1);
+      const B* d = arg(2);
+      const B* e = arg(3);
+      for (std::size_t b = 0; b < blocks; ++b) {
+        out[b] = a[b] | c[b] | d[b] | e[b];
+      }
+      return;
+    }
+    case CellFunc::kNor2: {
+      const B* a = arg(0);
+      const B* c = arg(1);
+      for (std::size_t b = 0; b < blocks; ++b) out[b] = ~(a[b] | c[b]);
+      return;
+    }
+    case CellFunc::kNor3: {
+      const B* a = arg(0);
+      const B* c = arg(1);
+      const B* d = arg(2);
+      for (std::size_t b = 0; b < blocks; ++b) out[b] = ~(a[b] | c[b] | d[b]);
+      return;
+    }
+    case CellFunc::kNor4: {
+      const B* a = arg(0);
+      const B* c = arg(1);
+      const B* d = arg(2);
+      const B* e = arg(3);
+      for (std::size_t b = 0; b < blocks; ++b) {
+        out[b] = ~(a[b] | c[b] | d[b] | e[b]);
+      }
+      return;
+    }
+    case CellFunc::kXor2: {
+      const B* a = arg(0);
+      const B* c = arg(1);
+      for (std::size_t b = 0; b < blocks; ++b) out[b] = a[b] ^ c[b];
+      return;
+    }
+    case CellFunc::kXnor2: {
+      const B* a = arg(0);
+      const B* c = arg(1);
+      for (std::size_t b = 0; b < blocks; ++b) out[b] = ~(a[b] ^ c[b]);
+      return;
+    }
+    case CellFunc::kMux2: {
+      const B* lo = arg(0);
+      const B* hi = arg(1);
+      const B* sel = arg(2);
+      for (std::size_t b = 0; b < blocks; ++b) {
+        out[b] = (sel[b] & hi[b]) | (~sel[b] & lo[b]);
+      }
+      return;
+    }
+    case CellFunc::kAoi21: {
+      const B* a = arg(0);
+      const B* c = arg(1);
+      const B* d = arg(2);
+      for (std::size_t b = 0; b < blocks; ++b) out[b] = ~((a[b] & c[b]) | d[b]);
+      return;
+    }
+    case CellFunc::kOai21: {
+      const B* a = arg(0);
+      const B* c = arg(1);
+      const B* d = arg(2);
+      for (std::size_t b = 0; b < blocks; ++b) out[b] = ~((a[b] | c[b]) & d[b]);
+      return;
+    }
     case CellFunc::kDff:
       throw std::logic_error("DFF in combinational op list");
   }
-  throw std::logic_error("compute_op: unknown cell function");
+  throw std::logic_error("eval_op_blocks: unknown cell function");
 }
 
 }  // namespace
 
 template <std::size_t W>
-WideSimulator<W>::WideSimulator(const netlist::Netlist& nl) : nl_(&nl) {
+WideSimulator<W>::WideSimulator(const netlist::Netlist& nl, std::size_t blocks)
+    : nl_(&nl), blocks_(blocks) {
   if (!nl.finalized()) {
     throw std::invalid_argument("WideSimulator: netlist not finalized");
   }
-  values_.assign(nl.num_nets(), Block::zero());
+  if (blocks == 0 || blocks > kMaxLaneBlocksPerPass) {
+    throw std::invalid_argument("WideSimulator: blocks out of range");
+  }
+  values_.assign(nl.num_nets() * blocks_, Block::zero());
   ops_.reserve(nl.topo_order().size());
   for (const netlist::CellId id : nl.topo_order()) {
     const netlist::Cell& cell = nl.cell(id);
@@ -72,7 +203,7 @@ WideSimulator<W>::WideSimulator(const netlist::Netlist& nl) : nl_(&nl) {
     ffs_.push_back(FfSlot{cell.inputs[0], cell.output,
                           cell.init_value ? Block::ones() : Block::zero()});
   }
-  next_state_.assign(ffs_.size(), Block::zero());
+  next_state_.assign(ffs_.size() * blocks_, Block::zero());
 
   // Net -> reading-op fanout in CSR form (counting sort by input net);
   // identical construction to the scalar PackedSimulator.
@@ -116,17 +247,40 @@ WideSimulator<W>::WideSimulator(const netlist::Netlist& nl) : nl_(&nl) {
 template <std::size_t W>
 void WideSimulator<W>::reset() {
   std::fill(values_.begin(), values_.end(), Block::zero());
-  for (const FfSlot& ff : ffs_) values_[ff.q] = ff.init;
+  for (const FfSlot& ff : ffs_) {
+    for (std::size_t b = 0; b < blocks_; ++b) values_[ff.q * blocks_ + b] = ff.init;
+  }
   eval();
 }
 
 template <std::size_t W>
 void WideSimulator<W>::set_input(netlist::NetId net, const Block& value) {
-  if (net >= values_.size() || nl_->net(net).pi_index < 0) {
+  if (net >= net_dirty_.size() || nl_->net(net).pi_index < 0) {
     throw std::invalid_argument("set_input: not a primary input net");
   }
-  if (differs(values_[net], value)) {
-    values_[net] = value;
+  Block* slots = values_.data() + static_cast<std::size_t>(net) * blocks_;
+  bool changed = false;
+  for (std::size_t b = 0; b < blocks_; ++b) {
+    if (differs(slots[b], value)) {
+      slots[b] = value;
+      changed = true;
+    }
+  }
+  if (changed) mark_dirty(net);
+}
+
+template <std::size_t W>
+void WideSimulator<W>::set_input_block(netlist::NetId net, std::size_t block,
+                                       const Block& value) {
+  if (net >= net_dirty_.size() || nl_->net(net).pi_index < 0) {
+    throw std::invalid_argument("set_input_block: not a primary input net");
+  }
+  if (block >= blocks_) {
+    throw std::invalid_argument("set_input_block: block out of range");
+  }
+  Block& slot = values_[static_cast<std::size_t>(net) * blocks_ + block];
+  if (differs(slot, value)) {
+    slot = value;
     mark_dirty(net);
   }
 }
@@ -162,7 +316,8 @@ void WideSimulator<W>::eval() {
   ops_evaluated_ += ops_.size();
   Block* const v = values_.data();
   for (const Op& op : ops_) {
-    v[op.out] = compute_op<W>(op.func, op.in, v);
+    eval_op_blocks<W>(op.func, op.in, v, blocks_,
+                      v + static_cast<std::size_t>(op.out) * blocks_);
   }
   clear_dirty();
   coherent_ = true;
@@ -182,6 +337,7 @@ void WideSimulator<W>::eval_incremental() {
   }
   dirty_nets_.clear();
   std::uint64_t evaluated = 0;
+  Block scratch[kMaxLaneBlocksPerPass];
   // An evaluated op only ever schedules deeper levels, so one in-order sweep
   // over the buckets settles everything.
   for (std::vector<std::uint32_t>& bucket : level_buckets_) {
@@ -189,12 +345,17 @@ void WideSimulator<W>::eval_incremental() {
       const std::uint32_t idx = bucket[b];
       op_pending_[idx] = 0;
       const Op& op = ops_[idx];
-      const Block out = compute_op<W>(op.func, op.in, v);
+      eval_op_blocks<W>(op.func, op.in, v, blocks_, scratch);
       ++evaluated;
-      if (differs(out, v[op.out])) {
-        v[op.out] = out;
-        schedule_fanout(op.out);
+      Block* out = v + static_cast<std::size_t>(op.out) * blocks_;
+      bool changed = false;
+      for (std::size_t blk = 0; blk < blocks_; ++blk) {
+        if (differs(scratch[blk], out[blk])) {
+          out[blk] = scratch[blk];
+          changed = true;
+        }
       }
+      if (changed) schedule_fanout(op.out);
     }
     bucket.clear();
   }
@@ -203,39 +364,59 @@ void WideSimulator<W>::eval_incremental() {
 
 template <std::size_t W>
 void WideSimulator<W>::tick() {
-  for (std::size_t i = 0; i < ffs_.size(); ++i) next_state_[i] = values_[ffs_[i].d];
   for (std::size_t i = 0; i < ffs_.size(); ++i) {
-    if (differs(values_[ffs_[i].q], next_state_[i])) {
-      values_[ffs_[i].q] = next_state_[i];
-      mark_dirty(ffs_[i].q);
+    const Block* d = values_.data() + static_cast<std::size_t>(ffs_[i].d) * blocks_;
+    for (std::size_t b = 0; b < blocks_; ++b) next_state_[i * blocks_ + b] = d[b];
+  }
+  for (std::size_t i = 0; i < ffs_.size(); ++i) {
+    Block* q = values_.data() + static_cast<std::size_t>(ffs_[i].q) * blocks_;
+    bool changed = false;
+    for (std::size_t b = 0; b < blocks_; ++b) {
+      if (differs(q[b], next_state_[i * blocks_ + b])) {
+        q[b] = next_state_[i * blocks_ + b];
+        changed = true;
+      }
     }
+    if (changed) mark_dirty(ffs_[i].q);
   }
 }
 
 template <std::size_t W>
-void WideSimulator<W>::inject(netlist::CellId ff_cell, const Block& mask) {
+void WideSimulator<W>::inject(netlist::CellId ff_cell, const Block& mask,
+                              std::size_t block) {
   const std::uint32_t slot = ff_slot_.at(ff_cell);
   if (slot == ~std::uint32_t{0}) {
     throw std::invalid_argument("inject: cell is not a flip-flop");
   }
+  if (block >= blocks_) {
+    throw std::invalid_argument("inject: block out of range");
+  }
   if (any(mask)) {
-    values_[ffs_[slot].q] ^= mask;
+    values_[static_cast<std::size_t>(ffs_[slot].q) * blocks_ + block] ^= mask;
     mark_dirty(ffs_[slot].q);
   }
 }
 
 template <std::size_t W>
 void WideSimulator<W>::snapshot_ff_state(std::vector<Block>& out) const {
-  out.resize(ffs_.size());
-  for (std::size_t i = 0; i < ffs_.size(); ++i) out[i] = values_[ffs_[i].q];
+  out.resize(ffs_.size() * blocks_);
+  for (std::size_t i = 0; i < ffs_.size(); ++i) {
+    for (std::size_t b = 0; b < blocks_; ++b) {
+      out[i * blocks_ + b] = values_[static_cast<std::size_t>(ffs_[i].q) * blocks_ + b];
+    }
+  }
 }
 
 template <std::size_t W>
 void WideSimulator<W>::restore_ff_state(std::span<const Block> state) {
-  if (state.size() != ffs_.size()) {
+  if (state.size() != ffs_.size() * blocks_) {
     throw std::invalid_argument("restore_ff_state: state size mismatch");
   }
-  for (std::size_t i = 0; i < ffs_.size(); ++i) values_[ffs_[i].q] = state[i];
+  for (std::size_t i = 0; i < ffs_.size(); ++i) {
+    for (std::size_t b = 0; b < blocks_; ++b) {
+      values_[static_cast<std::size_t>(ffs_[i].q) * blocks_ + b] = state[i * blocks_ + b];
+    }
+  }
   // Combinational nets are now stale relative to the restored registers;
   // force the next incremental sweep to run in full. Note this covers nets
   // whose blocks were dirtied before the restore too — the stale dirty set
@@ -245,12 +426,12 @@ void WideSimulator<W>::restore_ff_state(std::span<const Block> state) {
 
 template <std::size_t W>
 const typename WideSimulator<W>::Block& WideSimulator<W>::ff_state(
-    netlist::CellId ff_cell) const {
+    netlist::CellId ff_cell, std::size_t block) const {
   const std::uint32_t slot = ff_slot_.at(ff_cell);
   if (slot == ~std::uint32_t{0}) {
     throw std::invalid_argument("ff_state: cell is not a flip-flop");
   }
-  return values_[ffs_[slot].q];
+  return values_[static_cast<std::size_t>(ffs_[slot].q) * blocks_ + block];
 }
 
 template class WideSimulator<1>;

@@ -1,15 +1,20 @@
 #pragma once
 /// \file wide_sim.hpp
 /// \brief Block-wide bit-parallel gate simulator: the LaneBlock<W> generalization
-/// of PackedSimulator. Every net carries one LaneBlock<W> (W * 64 fault
-/// lanes), and the eval / eval_incremental / tick / inject / restore inner
-/// loops are written over the block type, so GCC/Clang lower each gate
-/// evaluation to one AVX2 (W=4) or AVX-512 (W=8) operation where the build
-/// architecture allows.
+/// of PackedSimulator. Every net carries `blocks` LaneBlock<W>s (blocks * W *
+/// 64 fault lanes), and the eval / eval_incremental / tick / inject / restore
+/// inner loops are written over the block type, so GCC/Clang lower each gate
+/// evaluation to one AVX2 (W=4) or AVX-512 (W=8) operation per block where
+/// the build architecture allows. Sweeping several blocks per op keeps the
+/// vector pipelines busy past the register-width ceiling: the per-op operand
+/// pointers are formed once and the block loop runs back-to-back independent
+/// SIMD ops on adjacent cache lines (net-major storage: net n's blocks are
+/// contiguous at [n * blocks, (n + 1) * blocks)).
 ///
 /// WideSimulator<W> mirrors PackedSimulator exactly — same levelized op
-/// list, same fanout-CSR dirty-set machinery, same coherence contract after
-/// restore_ff_state() — and every lane is bit-identical to the scalar
+/// list, same fanout-CSR dirty-set machinery (dirty is tracked per net, a
+/// net is dirty when any of its blocks changed), same coherence contract
+/// after restore_ff_state() — and every lane is bit-identical to the scalar
 /// simulator running that lane's scenario (the scalar 64-bit path in
 /// packed_sim.hpp is deliberately untouched as the differential reference;
 /// see tests/test_lane_width.cpp). Blocks cross this interface by reference
@@ -29,16 +34,26 @@ template <std::size_t W>
 class WideSimulator {
  public:
   using Block = LaneBlock<W>;
+  /// Lanes per single block; total lanes are num_blocks() * kLanes.
   static constexpr std::size_t kLanes = Block::kLanes;
 
   /// The netlist must be finalized. The simulator keeps a reference; the
-  /// netlist must outlive it.
-  explicit WideSimulator(const netlist::Netlist& nl);
+  /// netlist must outlive it. `blocks` lane blocks are swept per pass.
+  /// \throws std::invalid_argument when blocks is 0 or exceeds
+  /// kMaxLaneBlocksPerPass.
+  explicit WideSimulator(const netlist::Netlist& nl, std::size_t blocks = 1);
+
+  [[nodiscard]] std::size_t num_blocks() const noexcept { return blocks_; }
+  [[nodiscard]] std::size_t lanes() const noexcept { return blocks_ * kLanes; }
 
   /// Resets every flip-flop to its init value (all lanes) and clears inputs.
   void reset();
 
+  /// Broadcasts `value` to every block of a primary-input net.
   void set_input(netlist::NetId net, const Block& value);
+
+  /// Sets one block of a primary-input net (per-block loopback values).
+  void set_input_block(netlist::NetId net, std::size_t block, const Block& value);
 
   /// Re-evaluates all combinational logic from current inputs + FF states.
   void eval();
@@ -53,29 +68,33 @@ class WideSimulator {
   /// Clock edge: every flip-flop captures its D input. Call eval() first.
   void tick();
 
-  /// Flips the stored state of a flip-flop in the lanes set in `mask`.
-  void inject(netlist::CellId ff_cell, const Block& mask);
+  /// Flips the stored state of a flip-flop in the lanes of block `block`
+  /// set in `mask`.
+  void inject(netlist::CellId ff_cell, const Block& mask, std::size_t block = 0);
 
   [[nodiscard]] std::size_t num_ffs() const noexcept { return ffs_.size(); }
 
-  /// Copies every flip-flop's Q block into `out` (Netlist::flip_flops order).
+  /// Copies every flip-flop's Q blocks into `out`, flip-flop-major: FF i's
+  /// blocks land at [i * num_blocks(), (i + 1) * num_blocks()).
   void snapshot_ff_state(std::vector<Block>& out) const;
 
-  /// Overwrites every flip-flop's Q block from `state` (same order/size as
+  /// Overwrites every flip-flop's Q blocks from `state` (same order/size as
   /// snapshot_ff_state). Combinational nets become stale: the next
   /// eval_incremental() performs a full sweep to re-establish coherence.
   /// \throws std::invalid_argument on a size mismatch.
   void restore_ff_state(std::span<const Block> state);
 
-  [[nodiscard]] const Block& value(netlist::NetId net) const {
-    return values_[net];
+  [[nodiscard]] const Block& value(netlist::NetId net, std::size_t block = 0) const {
+    return values_[net * blocks_ + block];
   }
+  /// Bit of a net in a global lane index in [0, lanes()).
   [[nodiscard]] bool value_in_lane(netlist::NetId net, std::size_t lane) const {
-    return values_[net].lane(lane);
+    return values_[net * blocks_ + lane / kLanes].lane(lane % kLanes);
   }
 
   /// Current Q block of a flip-flop.
-  [[nodiscard]] const Block& ff_state(netlist::CellId ff_cell) const;
+  [[nodiscard]] const Block& ff_state(netlist::CellId ff_cell,
+                                      std::size_t block = 0) const;
 
   [[nodiscard]] const netlist::Netlist& netlist() const noexcept { return *nl_; }
 
@@ -83,8 +102,8 @@ class WideSimulator {
   [[nodiscard]] std::uint64_t eval_count() const noexcept { return eval_count_; }
 
   /// Individual op evaluations since construction (one per op per sweep,
-  /// regardless of block width): eval() adds the full op count,
-  /// eval_incremental() only the ops it actually visited.
+  /// regardless of block width or block count): eval() adds the full op
+  /// count, eval_incremental() only the ops it actually visited.
   [[nodiscard]] std::uint64_t ops_evaluated() const noexcept {
     return ops_evaluated_;
   }
@@ -107,10 +126,11 @@ class WideSimulator {
   void clear_dirty();
 
   const netlist::Netlist* nl_;
+  std::size_t blocks_ = 1;
   std::vector<Op> ops_;              // combinational cells, topo order
   std::vector<FfSlot> ffs_;          // all flip-flops
-  std::vector<Block> values_;        // per net, one lane block each
-  std::vector<Block> next_state_;    // scratch for tick()
+  std::vector<Block> values_;        // net-major: blocks_ blocks per net
+  std::vector<Block> next_state_;    // scratch for tick(), ff-major
   std::vector<std::uint32_t> ff_slot_;  // CellId -> index into ffs_ (or ~0)
 
   // Dirty-set machinery, identical in structure to PackedSimulator (see

@@ -104,18 +104,30 @@ TEST_F(MacEngineFixture, PacksLanesAcrossFlipFlops) {
       run_campaign(mac->netlist, bench->tb, engine->golden(), config);
   const CampaignResult batched = engine->run(config);
   // 8 x 48 = 384 injections: flat needs 8 passes, batched ceil(384/64) = 6.
+  // The 64-lane scalar reference path never re-shapes or multi-blocks its
+  // passes, so these counts are pinned exactly.
   EXPECT_EQ(flat.total_sim_passes, 8u);
   EXPECT_EQ(batched.total_sim_passes, 6u);
   EXPECT_EQ(batched.lanes_per_pass, 64u);
+  EXPECT_EQ(batched.blocks_per_pass, 1u);
+  ASSERT_EQ(batched.pass_histogram.size(), 1u);
+  EXPECT_EQ(batched.pass_histogram[0].width, 64u);
+  EXPECT_EQ(batched.pass_histogram[0].blocks, 1u);
+  EXPECT_EQ(batched.pass_histogram[0].passes, 6u);
   expect_bit_identical(flat, batched);
 
-  // Same campaign at whatever width the host resolves for kAuto: the pass
-  // count follows lanes_per_pass, the science does not.
+  // Same campaign at whatever (width, blocks) shape the host resolves for
+  // kAuto: the pass count follows the deterministic adaptive schedule, the
+  // science does not.
   CampaignConfig wide = config;
   wide.lane_width = sim::LaneWidth::kAuto;
   const CampaignResult auto_width = engine->run(wide);
+  const std::size_t auto_block_width =
+      auto_width.lanes_per_pass / auto_width.blocks_per_pass;
   EXPECT_EQ(auto_width.total_sim_passes,
-            (384 + auto_width.lanes_per_pass - 1) / auto_width.lanes_per_pass);
+            build_pass_schedule(384, auto_block_width,
+                                auto_width.blocks_per_pass)
+                .size());
   expect_bit_identical(flat, auto_width);
 }
 

@@ -18,6 +18,7 @@
 #include "fault/engine.hpp"
 #include "sim/packed_sim.hpp"
 #include "sim/runner.hpp"
+#include "sim/wide_runner.hpp"
 #include "sim/wide_sim.hpp"
 #include "util/rng.hpp"
 
@@ -347,6 +348,180 @@ TEST(CheckpointRestore, RunnerContractsRejectMisuse) {
   // Empty checkpoints cannot serve a resume.
   const sim::GoldenCheckpoints empty;
   sim::RunOptions resume_empty;
+  resume_empty.resume = &empty;
+  EXPECT_THROW((void)runner.run(events, resume_empty), std::logic_error);
+}
+
+// ---- bit-packed checkpoints: one shared representation, two consumers --------
+
+/// Restoring a bit-packed snapshot must behave identically whether the
+/// consumer is the scalar 64-lane ReplayRunner or a multi-block wide runner:
+/// the packed golden bit is splat across every lane of every block, so the
+/// same checkpoint set drives both paths to bit-identical frames and state.
+TEST(PackedCheckpoints, RestoreFromPackedEqualsRestoreFromWide) {
+  circuits::MacConfig mc;
+  mc.tx_depth_log2 = 3;
+  mc.rx_depth_log2 = 3;
+  const circuits::MacCore mac = circuits::build_mac_core(mc);
+  circuits::MacTestbenchConfig tbc;
+  tbc.num_frames = 2;
+  tbc.min_payload = 8;
+  tbc.max_payload = 12;
+  tbc.seed = 11;
+  const circuits::MacTestbench bench = circuits::build_mac_testbench(mac, tbc);
+  const sim::CompiledStimulus stimulus(mac.netlist, bench.tb);
+
+  sim::GoldenCheckpoints ckpts;
+  ckpts.interval = 10;
+  sim::ReplayRunner recorder(stimulus);
+  sim::RunOptions record_options;
+  record_options.record = &ckpts;
+  (void)recorder.run({}, record_options);
+
+  constexpr std::size_t kW = 4;
+  constexpr std::size_t kBlocks = 2;
+  const auto ffs = mac.netlist.flip_flops();
+  sim::ReplayRunner scalar(stimulus);
+  sim::WideReplayRunner<kW> wide(stimulus, kBlocks);
+  ASSERT_EQ(wide.lanes(), kBlocks * kW * 64);
+
+  // The same three injections in both runners; the wide lanes deliberately
+  // span both blocks (lane 0, a lane in the middle of block 0, a lane in
+  // block 1) so every splat path is exercised.
+  const std::size_t cycles[] = {bench.tb.inject_begin + 1,
+                                bench.tb.inject_begin + 11,
+                                bench.tb.inject_end - 1};
+  const std::size_t scalar_lanes[] = {0, 13, 40};
+  const std::size_t wide_lanes[] = {0, kW * 64 - 7, kW * 64 + 129};
+  std::vector<sim::InjectionEvent> scalar_events;
+  std::vector<sim::LaneInjection> wide_events;
+  for (std::size_t i = 0; i < 3; ++i) {
+    sim::InjectionEvent sev;
+    sev.ff_cell = ffs[(i * 37 + 5) % ffs.size()];
+    sev.cycle = static_cast<std::uint32_t>(cycles[i]);
+    sev.lane_mask = sim::Lanes{1} << scalar_lanes[i];
+    scalar_events.push_back(sev);
+    sim::LaneInjection wev;
+    wev.ff_cell = sev.ff_cell;
+    wev.cycle = sev.cycle;
+    wev.lane = static_cast<std::uint32_t>(wide_lanes[i]);
+    wide_events.push_back(wev);
+  }
+
+  for (const bool incremental : {false, true}) {
+    SCOPED_TRACE(std::string("incremental ") + std::to_string(incremental));
+    sim::RunOptions scalar_options;
+    scalar_options.resume = &ckpts;
+    scalar_options.incremental_eval = incremental;
+    const sim::RunResult from_scalar = scalar.run(scalar_events, scalar_options);
+    sim::WideRunOptions wide_options;
+    wide_options.resume = &ckpts;
+    wide_options.incremental_eval = incremental;
+    const sim::RunResult from_wide = wide.run(wide_events, wide_options);
+
+    EXPECT_EQ(from_scalar.start_cycle, from_wide.start_cycle);
+    ASSERT_EQ(from_wide.lane_frames.size(), wide.lanes());
+    for (std::size_t i = 0; i < 3; ++i) {
+      const sim::FrameList& a = from_scalar.lane_frames[scalar_lanes[i]];
+      const sim::FrameList& b = from_wide.lane_frames[wide_lanes[i]];
+      ASSERT_EQ(a.size(), b.size()) << "injection " << i;
+      for (std::size_t f = 0; f < a.size(); ++f) {
+        EXPECT_EQ(a[f].bytes, b[f].bytes) << "injection " << i << " frame " << f;
+        EXPECT_EQ(a[f].err, b[f].err) << "injection " << i << " frame " << f;
+        EXPECT_EQ(a[f].end_cycle, b[f].end_cycle)
+            << "injection " << i << " frame " << f;
+      }
+    }
+    // Final flip-flop state, per corresponding lane.
+    for (const netlist::CellId ff : ffs) {
+      const sim::Lanes scalar_state = scalar.simulator().ff_state(ff);
+      for (std::size_t i = 0; i < 3; ++i) {
+        const std::size_t g = wide_lanes[i];
+        const std::uint64_t wide_word =
+            wide.simulator().ff_state(ff, g / (kW * 64)).word((g / 64) % kW);
+        ASSERT_EQ((scalar_state >> scalar_lanes[i]) & 1u,
+                  (wide_word >> (g % 64)) & 1u)
+            << "ff " << mac.netlist.cell(ff).name << " injection " << i;
+      }
+    }
+  }
+}
+
+TEST(PackedCheckpoints, PackedMemoryIsWellBelowBroadcastWords) {
+  const circuits::PipelineCore core = circuits::build_pipeline_core();
+  const circuits::PipelineTestbench bench =
+      circuits::build_pipeline_testbench(core, 64);
+  const sim::CompiledStimulus stimulus(core.netlist, bench.tb);
+  sim::GoldenCheckpoints ckpts;
+  ckpts.interval = 8;
+  sim::ReplayRunner recorder(stimulus);
+  sim::RunOptions options;
+  options.record = &ckpts;
+  (void)recorder.run({}, options);
+
+  // One bit per FF (+ loopback) per snapshot, rounded up to whole words.
+  EXPECT_EQ(ckpts.state_bits.size(),
+            ckpts.snapshots.size() * ckpts.state_stride());
+  EXPECT_EQ(ckpts.state_stride(),
+            (ckpts.num_ffs + ckpts.num_loopbacks + 63) / 64);
+  // The packed representation must undercut the broadcast-word layout by a
+  // wide margin; the exact >= 32x bound is asserted at paper scale in
+  // test_relay_core.cpp.
+  EXPECT_LT(ckpts.memory_bytes(), ckpts.broadcast_word_bytes());
+  // Golden frames are stored once, as a prefix-shared stream, not copied
+  // per snapshot.
+  for (const auto& snap : ckpts.snapshots) {
+    EXPECT_LE(snap.frames_completed, ckpts.golden_frames.size());
+  }
+}
+
+TEST(PackedCheckpoints, WideRunnerContractsRejectMisuse) {
+  const circuits::PipelineCore core = circuits::build_pipeline_core();
+  const circuits::PipelineTestbench bench =
+      circuits::build_pipeline_testbench(core, 24);
+  const sim::CompiledStimulus stimulus(core.netlist, bench.tb);
+
+  // Block-count bounds are enforced at construction.
+  EXPECT_THROW(sim::WideReplayRunner<4>(stimulus, 0), std::invalid_argument);
+  EXPECT_THROW(sim::WideReplayRunner<4>(stimulus, sim::kMaxLaneBlocksPerPass + 1),
+               std::invalid_argument);
+
+  sim::WideReplayRunner<4> runner(stimulus, 2);
+  sim::GoldenCheckpoints ckpts;
+
+  sim::WideRunOptions bad_interval;
+  bad_interval.record = &ckpts;
+  ckpts.interval = 0;
+  EXPECT_THROW((void)runner.run({}, bad_interval), std::invalid_argument);
+  ckpts.interval = stimulus.num_cycles() + 1;
+  EXPECT_THROW((void)runner.run({}, bad_interval), std::invalid_argument);
+
+  ckpts.interval = 8;
+  sim::LaneInjection ev;
+  ev.ff_cell = core.netlist.flip_flops()[0];
+  ev.cycle = static_cast<std::uint32_t>(bench.tb.inject_begin);
+  ev.lane = 0;
+  const sim::LaneInjection events[] = {ev};
+  sim::WideRunOptions record_with_faults;
+  record_with_faults.record = &ckpts;
+  EXPECT_THROW((void)runner.run(events, record_with_faults),
+               std::invalid_argument);
+
+  // A lane beyond blocks * W * 64 is out of range.
+  sim::LaneInjection out_of_range = ev;
+  out_of_range.lane = static_cast<std::uint32_t>(runner.lanes());
+  const sim::LaneInjection bad_events[] = {out_of_range};
+  EXPECT_THROW((void)runner.run(bad_events, {}), std::invalid_argument);
+
+  (void)runner.run({}, sim::WideRunOptions{.record = &ckpts});
+  sim::WideRunOptions resume_with_activity;
+  resume_with_activity.resume = &ckpts;
+  resume_with_activity.trace_activity = true;
+  EXPECT_THROW((void)runner.run(events, resume_with_activity),
+               std::invalid_argument);
+
+  const sim::GoldenCheckpoints empty;
+  sim::WideRunOptions resume_empty;
   resume_empty.resume = &empty;
   EXPECT_THROW((void)runner.run(events, resume_empty), std::logic_error);
 }

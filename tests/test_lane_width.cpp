@@ -50,6 +50,22 @@ struct ForcedNativeWidth {
   ForcedNativeWidth& operator=(const ForcedNativeWidth&) = delete;
 };
 
+/// The engine's pass accounting must be internally consistent and must match
+/// the deterministic schedule planner for the resolved (width, blocks) shape.
+void expect_schedule_consistent(const CampaignResult& result,
+                                const std::string& label) {
+  const std::size_t width =
+      result.lanes_per_pass / std::max<std::size_t>(1, result.blocks_per_pass);
+  const std::vector<PlannedPass> schedule = build_pass_schedule(
+      result.total_injections, width, result.blocks_per_pass);
+  EXPECT_EQ(result.total_sim_passes, schedule.size()) << label;
+  std::uint64_t histogram_passes = 0;
+  for (const PassShapeCount& shape : result.pass_histogram) {
+    histogram_passes += shape.passes;
+  }
+  EXPECT_EQ(histogram_passes, result.total_sim_passes) << label;
+}
+
 void expect_bit_identical(const CampaignResult& a, const CampaignResult& b,
                           const std::string& label) {
   ASSERT_EQ(a.per_ff.size(), b.per_ff.size()) << label;
@@ -134,7 +150,7 @@ TEST_P(RandomLaneWidthSweep, AllWidthsMatchFlatReference) {
   CampaignEngine engine(nl, tb);
 
   CampaignConfig base;
-  base.injections_per_ff = 37;  // not a lane-count multiple: tail lanes idle
+  base.injections_per_ff = 131;  // not a lane-count multiple: ragged tails
   base.seed = 0xBEEF + GetParam();
   base.checkpoint_interval = 8;
 
@@ -149,12 +165,15 @@ TEST_P(RandomLaneWidthSweep, AllWidthsMatchFlatReference) {
         config.num_threads = threads;
         const CampaignResult result = engine.run(config);
         const std::string label = case_label(width, mode, threads);
-        EXPECT_EQ(result.lanes_per_pass, sim::lanes_of(width)) << label;
-        EXPECT_TRUE(result.warnings.empty()) << label;
-        EXPECT_EQ(result.total_sim_passes,
-                  (result.total_injections + result.lanes_per_pass - 1) /
-                      result.lanes_per_pass)
+        EXPECT_EQ(result.lanes_per_pass,
+                  sim::lanes_of(width) * result.blocks_per_pass)
             << label;
+        if (width == sim::LaneWidth::k64) {
+          // Auto blocks never widen the scalar reference path.
+          EXPECT_EQ(result.blocks_per_pass, 1u) << label;
+        }
+        EXPECT_TRUE(result.warnings.empty()) << label;
+        expect_schedule_consistent(result, label);
         expect_bit_identical(flat, result, label);
       }
     }
@@ -213,31 +232,43 @@ TEST_F(MacLaneWidthFixture, AllWidthsMatchFlatAcrossModes) {
       config.replay_mode = mode;
       const CampaignResult result = engine->run(config);
       const std::string label = case_label(width, mode, 0);
-      EXPECT_EQ(result.lanes_per_pass, sim::lanes_of(width)) << label;
+      EXPECT_EQ(result.lanes_per_pass,
+                sim::lanes_of(width) * result.blocks_per_pass)
+          << label;
+      expect_schedule_consistent(result, label);
       expect_bit_identical(flat, result, label);
     }
   }
 }
 
 TEST_F(MacLaneWidthFixture, TailBlockMaskingAt512) {
-  // 257 injections into one flip-flop at width 512: a single pass whose
-  // last 255 lanes are idle. Idle lanes must not perturb the 257 live ones.
+  // 600 injections into one flip-flop at a single 512-lane block: one full
+  // 512-lane pass, and the 88-job tail is re-sliced into two scalar passes
+  // (64 + 24 live lanes) instead of one mostly-masked 512-lane pass. Idle
+  // lanes must not perturb the live ones.
   const ForcedNativeWidth pin(sim::LaneWidth::k512);
   CampaignConfig config;
-  config.injections_per_ff = 257;
+  config.injections_per_ff = 600;
   config.ff_subset = {11};
   const CampaignResult flat =
       run_campaign(mac->netlist, bench->tb, engine->golden(), config);
   config.lane_width = sim::LaneWidth::k512;
+  config.blocks_per_pass = 1;
   const CampaignResult wide = engine->run(config);
-  EXPECT_EQ(wide.total_injections, 257u);
-  EXPECT_EQ(wide.total_sim_passes, 1u);
-  EXPECT_EQ(flat.total_sim_passes, 5u);  // ceil(257 / 64)
-  expect_bit_identical(flat, wide, "tail-block 257@512");
+  EXPECT_EQ(wide.total_injections, 600u);
+  EXPECT_EQ(wide.total_sim_passes, 3u);
+  ASSERT_EQ(wide.pass_histogram.size(), 2u);
+  EXPECT_EQ(wide.pass_histogram[0].width, 512u);
+  EXPECT_EQ(wide.pass_histogram[0].passes, 1u);
+  EXPECT_EQ(wide.pass_histogram[1].width, 64u);
+  EXPECT_EQ(wide.pass_histogram[1].passes, 2u);
+  EXPECT_EQ(flat.total_sim_passes, 10u);  // ceil(600 / 64)
+  expect_bit_identical(flat, wide, "tail-block 600@512");
 }
 
 TEST_F(MacLaneWidthFixture, TailBlockMaskingAt256) {
-  // 257 = 256 + 1: the second width-256 pass carries a single live lane.
+  // 257 = 256 + 1: the full 256-lane pass is followed by a 64-lane tail
+  // pass carrying a single live lane (adaptive re-slice of the tail).
   const ForcedNativeWidth pin(sim::LaneWidth::k512);
   CampaignConfig config;
   config.injections_per_ff = 257;
@@ -245,9 +276,65 @@ TEST_F(MacLaneWidthFixture, TailBlockMaskingAt256) {
   const CampaignResult flat =
       run_campaign(mac->netlist, bench->tb, engine->golden(), config);
   config.lane_width = sim::LaneWidth::k256;
+  config.blocks_per_pass = 1;
   const CampaignResult wide = engine->run(config);
   EXPECT_EQ(wide.total_sim_passes, 2u);
+  ASSERT_EQ(wide.pass_histogram.size(), 2u);
+  EXPECT_EQ(wide.pass_histogram[0].width, 256u);
+  EXPECT_EQ(wide.pass_histogram[1].width, 64u);
   expect_bit_identical(flat, wide, "tail-block 257@256");
+}
+
+// ---- multi-block passes: blocks_per_pass sweeps with ragged tails ---------------
+
+TEST_F(MacLaneWidthFixture, MultiBlockRaggedTailsMatchFlat) {
+  // Every SIMD width x explicit block count (including the non-power-of-two
+  // 3) x replay mode, at an injection total that leaves a ragged multi-word
+  // tail — all bit-identical to the flat reference, with the engine's pass
+  // accounting matching the deterministic planner.
+  const ForcedNativeWidth pin(sim::LaneWidth::k512);
+  CampaignConfig base;
+  base.injections_per_ff = 90;  // 5 FFs x 90 = 450 jobs: ragged everywhere
+  base.ff_subset = {0, 3, 7, 12, 19};
+  const CampaignResult flat =
+      run_campaign(mac->netlist, bench->tb, engine->golden(), base);
+  for (const sim::LaneWidth width : kAllWidths) {
+    for (const std::size_t blocks :
+         {std::size_t{1}, std::size_t{2}, std::size_t{3}}) {
+      for (const ReplayMode mode : kAllModes) {
+        CampaignConfig config = base;
+        config.lane_width = width;
+        config.blocks_per_pass = blocks;
+        config.replay_mode = mode;
+        const CampaignResult result = engine->run(config);
+        const std::string label =
+            case_label(width, mode, 0) + " blocks=" + std::to_string(blocks);
+        EXPECT_EQ(result.blocks_per_pass, blocks) << label;
+        EXPECT_EQ(result.lanes_per_pass, sim::lanes_of(width) * blocks)
+            << label;
+        EXPECT_TRUE(result.warnings.empty()) << label;
+        expect_schedule_consistent(result, label);
+        expect_bit_identical(flat, result, label);
+      }
+    }
+  }
+}
+
+TEST_F(MacLaneWidthFixture, BlocksBeyondMaximumClampWithWarning) {
+  const ForcedNativeWidth pin(sim::LaneWidth::k256);
+  CampaignConfig config;
+  config.injections_per_ff = 20;
+  config.ff_subset = {1, 6};
+  const CampaignResult flat =
+      run_campaign(mac->netlist, bench->tb, engine->golden(), config);
+  config.lane_width = sim::LaneWidth::k256;
+  config.blocks_per_pass = sim::kMaxLaneBlocksPerPass + 5;
+  const CampaignResult result = engine->run(config);
+  EXPECT_EQ(result.blocks_per_pass, sim::kMaxLaneBlocksPerPass);
+  ASSERT_EQ(result.warnings.size(), 1u);
+  EXPECT_NE(result.warnings[0].find("clamped"), std::string::npos)
+      << result.warnings[0];
+  expect_bit_identical(flat, result, "clamped blocks");
 }
 
 // ---- knob validation: requests wider than the host fall back --------------------
@@ -285,11 +372,90 @@ TEST_F(MacLaneWidthFixture, HonouredRequestsCarryNoWarning) {
        {sim::LaneWidth::kAuto, sim::LaneWidth::k64, sim::LaneWidth::k256}) {
     config.lane_width = requested;
     const CampaignResult result = engine->run(config);
-    const std::size_t expected =
-        requested == sim::LaneWidth::k64 ? 64u : 256u;  // kAuto -> native 256
-    EXPECT_EQ(result.lanes_per_pass, expected) << sim::to_string(requested);
+    // kAuto resolves to the pinned native 256; lanes_per_pass additionally
+    // carries the auto-resolved block count (1 on the 64-lane path).
+    const std::size_t expected_width =
+        requested == sim::LaneWidth::k64 ? 64u : 256u;
+    if (requested == sim::LaneWidth::k64) {
+      EXPECT_EQ(result.blocks_per_pass, 1u) << sim::to_string(requested);
+    }
+    EXPECT_EQ(result.lanes_per_pass, expected_width * result.blocks_per_pass)
+        << sim::to_string(requested);
     EXPECT_TRUE(result.warnings.empty()) << sim::to_string(requested);
   }
+}
+
+// ---- the deterministic pass planner itself --------------------------------------
+
+TEST(BuildPassSchedule, SeventyJobTailRunsAsTwoScalarPasses) {
+  // The motivating example: a 70-job tail at full shape 512x1 runs as two
+  // 64-lane passes (64 + 6 live) instead of one mostly-masked 512.
+  const auto schedule = build_pass_schedule(70, 512, 1);
+  ASSERT_EQ(schedule.size(), 2u);
+  EXPECT_EQ(schedule[0].width, 64u);
+  EXPECT_EQ(schedule[0].blocks, 1u);
+  EXPECT_EQ(schedule[0].job_begin, 0u);
+  EXPECT_EQ(schedule[0].job_end, 64u);
+  EXPECT_EQ(schedule[1].width, 64u);
+  EXPECT_EQ(schedule[1].job_begin, 64u);
+  EXPECT_EQ(schedule[1].job_end, 70u);
+}
+
+TEST(BuildPassSchedule, ScalarReferenceShapeIsNeverResliced) {
+  // full shape 64x1 must degenerate to exactly ceil(jobs / 64) passes so the
+  // pinned pre-adaptive pass counts stay byte-identical.
+  for (const std::size_t jobs : {1u, 63u, 64u, 65u, 1000u, 179180u}) {
+    const auto schedule = build_pass_schedule(jobs, 64, 1);
+    EXPECT_EQ(schedule.size(), (jobs + 63) / 64) << jobs;
+    for (const PlannedPass& pass : schedule) {
+      EXPECT_EQ(pass.width, 64u);
+      EXPECT_EQ(pass.blocks, 1u);
+    }
+  }
+}
+
+TEST(BuildPassSchedule, PartitionsJobsContiguouslyWithOneMaskedPassAtMost) {
+  for (const std::size_t full_width : {64u, 256u, 512u}) {
+    for (const std::size_t full_blocks : {1u, 2u, 3u, 8u}) {
+      for (const std::size_t jobs : {1u, 70u, 257u, 600u, 1023u, 4097u}) {
+        const auto schedule = build_pass_schedule(jobs, full_width, full_blocks);
+        const std::string label = std::to_string(jobs) + " jobs @ " +
+                                  std::to_string(full_width) + "x" +
+                                  std::to_string(full_blocks);
+        std::size_t cursor = 0;
+        std::size_t masked = 0;
+        for (const PlannedPass& pass : schedule) {
+          EXPECT_EQ(pass.job_begin, cursor) << label;
+          EXPECT_GT(pass.job_end, pass.job_begin) << label;
+          EXPECT_LE(pass.job_end - pass.job_begin, pass.width * pass.blocks)
+              << label;
+          EXPECT_LE(pass.width * pass.blocks, full_width * full_blocks) << label;
+          if (pass.job_end - pass.job_begin < pass.width * pass.blocks) ++masked;
+          cursor = pass.job_end;
+        }
+        EXPECT_EQ(cursor, jobs) << label;
+        EXPECT_LE(masked, 1u) << label;
+        if (masked == 1) {
+          EXPECT_LT(schedule.back().job_end - schedule.back().job_begin,
+                    schedule.back().width * schedule.back().blocks)
+              << label << ": only the final pass may be masked";
+        }
+      }
+    }
+  }
+}
+
+TEST(BuildPassSchedule, FullMultiBlockPassesThenNarrowerTail) {
+  // 1100 jobs at 512x2: one full 1024-lane pass, then the 76-job tail fits
+  // one two-block scalar-width pass (2 x 64 lanes) exactly.
+  const auto schedule = build_pass_schedule(1100, 512, 2);
+  ASSERT_EQ(schedule.size(), 2u);
+  EXPECT_EQ(schedule[0].width, 512u);
+  EXPECT_EQ(schedule[0].blocks, 2u);
+  EXPECT_EQ(schedule[0].job_end, 1024u);
+  EXPECT_EQ(schedule[1].width, 64u);
+  EXPECT_EQ(schedule[1].blocks, 2u);
+  EXPECT_EQ(schedule[1].job_end, 1100u);
 }
 
 // ---- pipeline core --------------------------------------------------------------

@@ -201,6 +201,13 @@ TEST_F(RelayFixture, IncrementalCampaignBitExactAndCheaper) {
   EXPECT_GT(incremental.checkpoint_restores, 0u);
   EXPECT_LT(incremental.cycles_simulated, full.cycles_simulated);
   EXPECT_LT(incremental.ops_evaluated, full.ops_evaluated);
+  // Bit-packed golden checkpoints at paper scale: at least 32x below the
+  // broadcast-word layout (one 64-bit word per FF per snapshot plus frame
+  // copies). kFull replays from reset and holds no checkpoints at all.
+  ASSERT_GT(incremental.checkpoint_bytes, 0u);
+  EXPECT_GE(incremental.checkpoint_bytes_unpacked,
+            32 * incremental.checkpoint_bytes);
+  EXPECT_EQ(full.checkpoint_bytes, 0u);
 }
 
 TEST_F(RelayFixture, LaneWidthDifferentialAtPaperScale) {
@@ -226,7 +233,8 @@ TEST_F(RelayFixture, LaneWidthDifferentialAtPaperScale) {
       wide.lane_width = width;
       wide.replay_mode = mode;
       const fault::CampaignResult result = engine.run(wide);
-      EXPECT_EQ(result.lanes_per_pass, sim::lanes_of(width));
+      EXPECT_EQ(result.lanes_per_pass,
+                sim::lanes_of(width) * result.blocks_per_pass);
       ASSERT_EQ(flat.per_ff.size(), result.per_ff.size());
       for (std::size_t i = 0; i < flat.per_ff.size(); ++i) {
         EXPECT_EQ(flat.per_ff[i].classes.counts, result.per_ff[i].classes.counts)
