@@ -84,6 +84,13 @@ struct FlowResult {
 
 /// Runs the flow end-to-end. Deterministic for a given config.
 ///
+/// The engine behind this overload comes from the process-wide
+/// service::default_engine_registry(): repeated calls on content-identical
+/// (netlist, testbench) pairs — even distinct copies, from any thread —
+/// share one golden run, checkpoint set and compiled stimulus. Results are
+/// unaffected (the cached engine is built from a structurally identical
+/// copy); only golden_seconds shrinks on a cache hit.
+///
 /// \param nl     Finalized gate-level netlist to analyse.
 /// \param tb     Workload testbench driving the golden run and campaign.
 /// \param config Flow tunables; defaults reproduce the paper's setup.

@@ -249,6 +249,20 @@ std::shared_ptr<const sim::GoldenCheckpoints> CampaignEngine::checkpoints(
       .first->second;
 }
 
+std::size_t CampaignEngine::resident_bytes() const {
+  std::size_t bytes = sizeof(*this) + stimulus_.memory_bytes();
+  for (const sim::Frame& frame : golden_.frames) {
+    bytes += sizeof(sim::Frame) + frame.bytes.size();
+  }
+  bytes += golden_.activity.cycles_at_1.size() * sizeof(std::uint64_t);
+  bytes += golden_.activity.state_changes.size() * sizeof(std::uint64_t);
+  std::lock_guard<std::mutex> lock(checkpoints_mutex_);
+  for (const auto& [interval, checkpoints] : checkpoints_by_interval_) {
+    bytes += checkpoints->memory_bytes();
+  }
+  return bytes;
+}
+
 CampaignResult CampaignEngine::run(const CampaignConfig& config) const {
   if (tb_->inject_end <= tb_->inject_begin) {
     throw std::invalid_argument("CampaignEngine::run: empty injection window");

@@ -119,6 +119,13 @@ class CampaignEngine {
       const CampaignConfig& config,
       const std::filesystem::path& cache_path) const;
 
+  /// Approximate bytes this engine keeps resident across campaigns: the
+  /// pre-broadcast compiled stimulus, the golden frame stream and activity
+  /// trace, and every cached bit-packed checkpoint set. This is the cost
+  /// the service-layer engine registry charges an entry against its byte
+  /// budget (the bit-packed checkpoints are what keep it small). Thread-safe.
+  [[nodiscard]] std::size_t resident_bytes() const;
+
  private:
   const netlist::Netlist* nl_;
   const sim::Testbench* tb_;

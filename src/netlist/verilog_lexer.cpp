@@ -29,6 +29,7 @@ std::string_view to_string(VTokenKind kind) noexcept {
     case VTokenKind::kEscapedId: return "escaped identifier";
     case VTokenKind::kPunct: return "punctuation";
     case VTokenKind::kLiteral: return "literal";
+    case VTokenKind::kNumber: return "number";
     case VTokenKind::kPragma: return "pragma";
     case VTokenKind::kEof: return "end of file";
   }
@@ -41,6 +42,7 @@ std::string VToken::describe() const {
     case VTokenKind::kEscapedId: return "identifier '" + text + "'";
     case VTokenKind::kPunct: return std::string("'") + punct + "'";
     case VTokenKind::kLiteral: return literal_value ? "1'b1" : "1'b0";
+    case VTokenKind::kNumber: return "number '" + std::to_string(number) + "'";
     case VTokenKind::kPragma: return "pragma '// ffr:" + text + "'";
     case VTokenKind::kEof: return "end of file";
   }
@@ -88,6 +90,14 @@ VToken VerilogLexer::expect_any_ident(std::string_view context) {
   if (current_.kind != VTokenKind::kIdentifier &&
       current_.kind != VTokenKind::kEscapedId) {
     fail(current_, "expected identifier " + std::string(context) + ", got " +
+                       current_.describe());
+  }
+  return take();
+}
+
+VToken VerilogLexer::expect_number(std::string_view context) {
+  if (current_.kind != VTokenKind::kNumber) {
+    fail(current_, "expected number " + std::string(context) + ", got " +
                        current_.describe());
   }
   return take();
@@ -185,7 +195,23 @@ void VerilogLexer::advance() {
     return;
   }
   if (std::isdigit(static_cast<unsigned char>(c))) {
-    fail_here("malformed literal: only 1'b0 and 1'b1 are supported");
+    // A standalone digit run is an unsized decimal number (range bounds and
+    // bit indices). Digits running into a base quote (`12'h`, `1'hF`) or an
+    // identifier character (`2bad`) are still the historical lexical error.
+    std::size_t len = 0;
+    while (std::isdigit(static_cast<unsigned char>(at(len)))) ++len;
+    if (at(len) == '\'' || is_ident_char(at(len))) {
+      fail_here("malformed literal: only 1'b0 and 1'b1 are supported");
+    }
+    if (len > 9) fail_here("number literal too large");
+    std::uint64_t value = 0;
+    for (std::size_t i = 0; i < len; ++i) {
+      value = value * 10 + static_cast<std::uint64_t>(at(i) - '0');
+    }
+    for (std::size_t i = 0; i < len; ++i) bump();
+    current_.kind = VTokenKind::kNumber;
+    current_.number = value;
+    return;
   }
   switch (c) {
     case '(':
@@ -195,6 +221,9 @@ void VerilogLexer::advance() {
     case '.':
     case '=':
     case '*':
+    case '[':
+    case ']':
+    case ':':
       bump();
       current_.kind = VTokenKind::kPunct;
       current_.punct = c;

@@ -19,8 +19,9 @@ namespace ffr::netlist {
 enum class VTokenKind : std::uint8_t {
   kIdentifier,  ///< Plain identifier or keyword (`module`, `wire`, `nand2_q`).
   kEscapedId,   ///< `\any-chars ` escaped identifier; text excludes backslash.
-  kPunct,       ///< One of `( ) ; , . = *`.
+  kPunct,       ///< One of `( ) ; , . = * [ ] :`.
   kLiteral,     ///< `1'b0` or `1'b1`; value in `literal_value`.
+  kNumber,      ///< Unsized decimal number (range bounds, indices); in `number`.
   kPragma,      ///< `// ffr:<body>` comment; text is `<body>` (trimmed head).
   kEof,         ///< End of input.
 };
@@ -32,6 +33,7 @@ struct VToken {
   std::string text;          ///< Identifier/pragma body text.
   char punct = '\0';         ///< Set for kPunct.
   bool literal_value = false;  ///< Set for kLiteral.
+  std::uint64_t number = 0;  ///< Set for kNumber.
   std::size_t line = 1;      ///< 1-based source line.
   std::size_t column = 1;    ///< 1-based source column.
 
@@ -72,6 +74,9 @@ class VerilogLexer {
 
   /// Consumes the current token, requiring a (plain or escaped) identifier.
   VToken expect_any_ident(std::string_view context);
+
+  /// Consumes the current token, requiring an unsized decimal number.
+  VToken expect_number(std::string_view context);
 
   /// Positioned diagnostic: "<file>:<line>:<col>: error: <message>".
   [[noreturn]] void fail(const VToken& at, const std::string& message) const;

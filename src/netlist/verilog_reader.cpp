@@ -1,5 +1,6 @@
 #include "netlist/verilog_reader.hpp"
 
+#include <cstdint>
 #include <fstream>
 #include <optional>
 #include <sstream>
@@ -20,6 +21,24 @@ namespace {
 // as escaped identifiers) and away from builder-generated names.
 constexpr std::string_view kTieCellName[2] = {"$ffr_tie0", "$ffr_tie1"};
 constexpr std::string_view kTieNetName[2] = {"$ffr_tie0_zn", "$ffr_tie1_zn"};
+
+// Widest accepted `[msb:lsb]` declaration. Far above any register bus the
+// tool flow produces; the cap turns a typo'd bound into a diagnostic instead
+// of a million-net elaboration.
+constexpr std::uint64_t kMaxVectorWidth = 4096;
+
+/// An `[msb:lsb]` range as written (either direction).
+struct VectorRange {
+  std::uint64_t msb = 0;  ///< Left bound.
+  std::uint64_t lsb = 0;  ///< Right bound.
+
+  [[nodiscard]] std::uint64_t width() const noexcept {
+    return (msb >= lsb ? msb - lsb : lsb - msb) + 1;
+  }
+  [[nodiscard]] bool contains(std::uint64_t bit) const noexcept {
+    return msb >= lsb ? (bit >= lsb && bit <= msb) : (bit >= msb && bit <= lsb);
+  }
+};
 
 /// Parser + elaborator for one module. Single pass: declarations must
 /// precede use, which every writer-emitted file satisfies by construction.
@@ -111,11 +130,67 @@ class Parser {
     parse_instance(/*init=*/std::nullopt);
   }
 
+  /// Optional `[msb:lsb]` vector range after an input/output/wire keyword.
+  std::optional<VectorRange> parse_range() {
+    if (!lexer_.peek().is_punct('[')) return std::nullopt;
+    const VToken open = lexer_.take();
+    VectorRange range;
+    range.msb = lexer_.expect_number("as the vector msb").number;
+    lexer_.expect_punct(':', "between the vector bounds");
+    range.lsb = lexer_.expect_number("as the vector lsb").number;
+    lexer_.expect_punct(']', "to close the vector range");
+    if (range.width() > kMaxVectorWidth) {
+      lexer_.fail(open, "vector range [" + std::to_string(range.msb) + ":" +
+                            std::to_string(range.lsb) + "] is wider than " +
+                            std::to_string(kMaxVectorWidth) + " bits");
+    }
+    return range;
+  }
+
+  /// Registers `base` as a vector and declares its scalar bit nets
+  /// `base[i]`, in declared range order (left bound first).
+  void declare_vector(const VToken& base, const VectorRange& range,
+                      bool is_primary_input, bool is_output) {
+    if (base.text == "clk") {
+      lexer_.fail(base, "'clk' is the implicit clock and cannot be a vector");
+    }
+    if (vectors_.contains(base.text)) {
+      lexer_.fail(base, "vector '" + base.text + "' declared twice");
+    }
+    vectors_.emplace(base.text, range);
+    const std::int64_t step = range.msb >= range.lsb ? -1 : 1;
+    std::int64_t bit = static_cast<std::int64_t>(range.msb);
+    for (std::uint64_t i = 0; i < range.width(); ++i, bit += step) {
+      VToken scalar = base;
+      scalar.text = base.text;
+      scalar.text.push_back('[');
+      scalar.text.append(std::to_string(bit));
+      scalar.text.push_back(']');
+      if (is_output) {
+        for (const OutputPort& port : outputs_) {
+          if (port.name == scalar.text) {
+            lexer_.fail(base, "output '" + scalar.text + "' declared twice");
+          }
+        }
+        outputs_.push_back(OutputPort{scalar.text, scalar, false});
+      } else {
+        declare_net(scalar, is_primary_input);
+      }
+    }
+  }
+
   void parse_port_decl(bool is_input) {
     lexer_.take();  // 'input' / 'output'
+    const std::optional<VectorRange> range = parse_range();
     for (;;) {
       const VToken name = lexer_.expect_any_ident("in the port declaration");
-      if (is_input && name.text == "clk") {
+      if (range.has_value()) {
+        if (is_input && name.text == "clk") {
+          lexer_.fail(name, "'clk' is the implicit clock and cannot be a vector");
+        }
+        declare_vector(name, *range, /*is_primary_input=*/is_input,
+                       /*is_output=*/!is_input);
+      } else if (is_input && name.text == "clk") {
         if (clk_declared_) lexer_.fail(name, "clock 'clk' declared twice");
         clk_declared_ = true;
       } else if (is_input) {
@@ -140,13 +215,45 @@ class Parser {
 
   void parse_wire_decl() {
     lexer_.take();  // 'wire'
+    const std::optional<VectorRange> range = parse_range();
     for (;;) {
       const VToken name = lexer_.expect_any_ident("in the wire declaration");
-      declare_net(name, /*is_primary_input=*/false);
+      if (range.has_value()) {
+        declare_vector(name, *range, /*is_primary_input=*/false,
+                       /*is_output=*/false);
+      } else {
+        declare_net(name, /*is_primary_input=*/false);
+      }
       if (!lexer_.peek().is_punct(',')) break;
       lexer_.take();
     }
     lexer_.expect_punct(';', "after the wire declaration");
+  }
+
+  /// A net reference: an identifier optionally followed by a `[bit]` select
+  /// on a declared vector. Returns a token whose text is the full scalar net
+  /// name (`d[3]`), interchangeable with the writer's escaped `\d[3]` form.
+  VToken parse_net_ref(std::string_view context) {
+    VToken name = lexer_.expect_any_ident(context);
+    if (name.kind != VTokenKind::kEscapedId && lexer_.peek().is_punct('[')) {
+      lexer_.take();
+      const VToken index = lexer_.expect_number("as the bit select");
+      lexer_.expect_punct(']', "to close the bit select");
+      const auto vector = vectors_.find(name.text);
+      if (vector == vectors_.end()) {
+        lexer_.fail(name, "'" + name.text + "' is not a declared vector");
+      }
+      if (!vector->second.contains(index.number)) {
+        lexer_.fail(index, "bit " + std::to_string(index.number) +
+                               " is outside vector '" + name.text + "[" +
+                               std::to_string(vector->second.msb) + ":" +
+                               std::to_string(vector->second.lsb) + "]'");
+      }
+      name.text.push_back('[');
+      name.text.append(std::to_string(index.number));
+      name.text.push_back(']');
+    }
+    return name;
   }
 
   void declare_net(const VToken& name, bool is_primary_input) {
@@ -166,7 +273,7 @@ class Parser {
 
   void parse_assign() {
     lexer_.take();  // 'assign'
-    const VToken lhs = lexer_.expect_any_ident("as the assign target");
+    const VToken lhs = parse_net_ref("as the assign target");
     OutputPort* port = nullptr;
     for (OutputPort& candidate : outputs_) {
       if (candidate.name == lhs.text) {
@@ -188,7 +295,7 @@ class Parser {
       const VToken literal = lexer_.take();
       source = tie_net(literal.literal_value, literal);
     } else {
-      const VToken rhs = lexer_.expect_any_ident("as the assign source");
+      const VToken rhs = parse_net_ref("as the assign source");
       source = resolve_net(rhs);
     }
     lexer_.expect_punct(';', "after the assign statement");
@@ -301,7 +408,7 @@ class Parser {
     }
 
     if (pin.text == output_pin_name(lib_cell.func)) {
-      const VToken value = lexer_.expect_any_ident("as the output connection");
+      const VToken value = parse_net_ref("as the output connection");
       const NetId net = resolve_net(value);
       NetInfo& info = nets_.at(value.text);
       if (netlist_->net(net).pi_index >= 0) {
@@ -340,7 +447,7 @@ class Parser {
       const VToken literal = lexer_.take();
       inputs[index] = tie_net(literal.literal_value, literal);
     } else {
-      const VToken value = lexer_.expect_any_ident("as the pin connection");
+      const VToken value = parse_net_ref("as the pin connection");
       inputs[index] = resolve_net(value);
     }
     lexer_.expect_punct(')', "to close the port connection");
@@ -452,6 +559,7 @@ class Parser {
   std::vector<VToken> declared_ports_;
   std::vector<OutputPort> outputs_;
   std::unordered_map<std::string, NetInfo> nets_;
+  std::unordered_map<std::string, VectorRange> vectors_;
   bool clk_declared_ = false;
   NetId tie_nets_[2] = {kNoNet, kNoNet};
 };

@@ -7,7 +7,10 @@
 ///
 /// Supported subset (see docs/ARCHITECTURE.md "Verilog frontend" for the
 /// grammar): one module with a port-name header; `input` / `output` / `wire`
-/// declarations (single names or comma lists); `assign <output> = <net>;`
+/// declarations (single names or comma lists), scalar or vectored
+/// (`input [7:0] d;` — expanded into scalar nets `d[7]` ... `d[0]` in
+/// declared range order, referenced as `d[3]` or the writer's escaped
+/// `\d[3]` form interchangeably); `assign <output> = <net>;`
 /// output bindings; cell instances of default_library() primitives with
 /// named port connections (any order); `1'b0` / `1'b1` tie-off literals on
 /// input pins (elaborated into shared CONST cells); `(* init = 1'b1 *)`

@@ -1,0 +1,113 @@
+#include "service/content_hash.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "netlist/verilog_writer.hpp"
+
+namespace ffr::service {
+
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+constexpr std::uint64_t kFnvOffsetLo = 0xcbf29ce484222325ull;
+// A second, independent stream: the standard offset basis xor-perturbed so
+// the two halves never agree by construction.
+constexpr std::uint64_t kFnvOffsetHi = 0xcbf29ce484222325ull ^ 0x9e3779b97f4a7c15ull;
+
+[[nodiscard]] std::uint64_t fnv1a(std::uint64_t state, std::string_view bytes) noexcept {
+  for (const char c : bytes) {
+    state ^= static_cast<unsigned char>(c);
+    state *= kFnvPrime;
+  }
+  return state;
+}
+
+/// Appends "name" for a bound net, "-" for kNoNet (e.g. an unused monitor
+/// error line), keeping the dump unambiguous via a trailing newline.
+void append_net_ref(std::string& out, const netlist::Netlist& nl,
+                    netlist::NetId id) {
+  out += ' ';
+  if (id == netlist::kNoNet) {
+    out += '-';
+  } else {
+    out += nl.net(id).name;
+  }
+}
+
+}  // namespace
+
+std::string ContentHash::hex() const {
+  char buffer[33];
+  std::snprintf(buffer, sizeof buffer, "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return std::string(buffer, 32);
+}
+
+ContentHash hash_bytes(std::string_view bytes) noexcept {
+  return ContentHash{fnv1a(kFnvOffsetLo, bytes), fnv1a(kFnvOffsetHi, bytes)};
+}
+
+std::string canonical_testbench(const netlist::Netlist& nl,
+                                const sim::Testbench& tb) {
+  std::string out = "ffr-testbench 1\n";
+  out += "inject " + std::to_string(tb.inject_begin) + " " +
+         std::to_string(tb.inject_end) + "\n";
+
+  const sim::Stimulus& stimulus = tb.stimulus;
+  out += "stimulus " + std::to_string(stimulus.num_inputs()) + " " +
+         std::to_string(stimulus.num_cycles()) + "\n";
+  // One row per primary input, waveform bits packed 4-per-hex-digit. Rows
+  // are in netlist PI order (the order the stimulus is defined over).
+  for (std::size_t pi = 0; pi < stimulus.num_inputs(); ++pi) {
+    unsigned nibble = 0;
+    for (std::size_t cycle = 0; cycle < stimulus.num_cycles(); ++cycle) {
+      nibble = (nibble << 1) | (stimulus.get(pi, cycle) ? 1u : 0u);
+      if (cycle % 4 == 3 || cycle + 1 == stimulus.num_cycles()) {
+        out += "0123456789abcdef"[nibble & 0xF];
+        nibble = 0;
+      }
+    }
+    out += '\n';
+  }
+
+  for (const sim::Loopback& loop : tb.loopbacks) {
+    out += "loopback";
+    append_net_ref(out, nl, loop.from_net);
+    append_net_ref(out, nl, loop.to_input);
+    out += loop.initial ? " 1\n" : " 0\n";
+  }
+
+  out += "monitor";
+  append_net_ref(out, nl, tb.monitor.valid);
+  append_net_ref(out, nl, tb.monitor.sop);
+  append_net_ref(out, nl, tb.monitor.eop);
+  append_net_ref(out, nl, tb.monitor.err);
+  for (const netlist::NetId data : tb.monitor.data) {
+    append_net_ref(out, nl, data);
+  }
+  out += '\n';
+  return out;
+}
+
+ContentHash content_hash(const netlist::Netlist& nl, const sim::Testbench& tb) {
+  if (!nl.finalized()) {
+    throw std::invalid_argument("content_hash: netlist is not finalized");
+  }
+  const std::string netlist_text = netlist::to_verilog(nl);
+  const std::string bench_text = canonical_testbench(nl, tb);
+  std::string stream;
+  stream.reserve(netlist_text.size() + bench_text.size() + 48);
+  stream += "netlist ";
+  stream += std::to_string(netlist_text.size());
+  stream += '\n';
+  stream += netlist_text;
+  stream += "testbench ";
+  stream += std::to_string(bench_text.size());
+  stream += '\n';
+  stream += bench_text;
+  return hash_bytes(stream);
+}
+
+}  // namespace ffr::service

@@ -1,0 +1,65 @@
+#pragma once
+/// \file content_hash.hpp
+/// \brief Content-addressed keys for (netlist, testbench) pairs.
+///
+/// The service layer caches one fault::CampaignEngine per *content* of a
+/// design-plus-workload pair, not per object: two structurally identical
+/// netlists driven by the same stimulus — even one re-imported from a
+/// Verilog dump, whose NetIds differ — must land on the same cache entry.
+/// The key is a 128-bit FNV-1a hash over two canonical byte streams:
+///
+///   1. the netlist rendered by netlist::to_verilog(), which is
+///      deterministic and byte-stable (the round-trip contract of the
+///      Verilog writer), and
+///   2. a canonical testbench dump (canonical_testbench()) that refers to
+///      nets by *name*, so it is invariant under NetId remapping — a
+///      testbench rebound with sim::retarget_testbench hashes identically.
+///
+/// 128 bits of FNV-1a is not cryptographic; it keys a trusted in-process
+/// cache where an accidental collision is the only concern (probability
+/// ~n^2 / 2^128 for n cached designs — negligible).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "netlist/netlist.hpp"
+#include "sim/testbench.hpp"
+
+namespace ffr::service {
+
+/// A 128-bit content hash, comparable and renderable as 32 hex digits.
+struct ContentHash {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  [[nodiscard]] bool operator==(const ContentHash&) const = default;
+  /// Lexicographic (hi, lo) order so hashes can key ordered containers.
+  [[nodiscard]] bool operator<(const ContentHash& other) const noexcept {
+    return hi != other.hi ? hi < other.hi : lo < other.lo;
+  }
+
+  /// 32 lowercase hex digits, hi word first.
+  [[nodiscard]] std::string hex() const;
+};
+
+/// FNV-1a over `bytes`, folded into both halves with distinct offset bases.
+[[nodiscard]] ContentHash hash_bytes(std::string_view bytes) noexcept;
+
+/// Canonical text form of a testbench *relative to its netlist*: the
+/// injection window, the packed stimulus waveforms, and the loopback /
+/// packet-monitor bindings spelled with net names (never NetIds). Two
+/// testbenches that drive structurally identical netlists identically
+/// produce identical dumps.
+/// \throws std::out_of_range when the testbench references a net outside
+///         the netlist (a mismatched pair).
+[[nodiscard]] std::string canonical_testbench(const netlist::Netlist& nl,
+                                              const sim::Testbench& tb);
+
+/// The service cache key: hash of the canonical netlist and testbench byte
+/// streams (length-delimited, so the concatenation is unambiguous).
+/// \throws std::invalid_argument when the netlist is not finalized.
+[[nodiscard]] ContentHash content_hash(const netlist::Netlist& nl,
+                                       const sim::Testbench& tb);
+
+}  // namespace ffr::service

@@ -1,0 +1,193 @@
+#include "service/engine_registry.hpp"
+
+#include <future>
+#include <optional>
+#include <utility>
+
+namespace ffr::service {
+
+/// A cache slot. The netlist/testbench copies are written once by the
+/// builder thread before the build future is signalled; every other access
+/// happens after wait() on that future (release/acquire pairing), so the
+/// copies and the engine need no further locking. The bookkeeping fields
+/// (ready, last_use, acquisitions, bytes) are guarded by the registry mutex.
+struct EngineRegistry::Entry {
+  netlist::Netlist netlist{"pending"};          ///< Owned copy (see header).
+  sim::Testbench testbench;                     ///< Owned copy.
+  std::optional<fault::CampaignEngine> engine;  ///< Built against the copies.
+  std::promise<void> build_done;
+  std::shared_future<void> build;
+  std::exception_ptr build_error;
+
+  std::size_t bytes = 0;            ///< resident_bytes() after a ready build.
+  std::uint64_t last_use = 0;       ///< LRU tick.
+  std::uint64_t acquisitions = 0;   ///< acquire() calls served.
+  bool ready = false;               ///< Build finished successfully.
+};
+
+EngineRegistry::EngineRegistry(RegistryConfig config, ServiceMetrics* metrics)
+    : config_(config), metrics_(metrics) {
+  if (metrics_ == nullptr) {
+    owned_metrics_ = std::make_unique<ServiceMetrics>();
+    metrics_ = owned_metrics_.get();
+  }
+}
+
+std::shared_ptr<const fault::CampaignEngine> EngineRegistry::acquire(
+    const netlist::Netlist& nl, const sim::Testbench& tb) {
+  const ContentHash key = content_hash(nl, tb);
+
+  std::shared_ptr<Entry> entry;
+  bool builder = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      entry = it->second;
+      metrics_->cache_hits.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      entry = std::make_shared<Entry>();
+      entry->build = entry->build_done.get_future().share();
+      entries_.emplace(key, entry);
+      builder = true;
+      metrics_->cache_misses.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  if (builder) {
+    try {
+      entry->netlist = nl;
+      entry->testbench = tb;
+      // The golden simulation — the expensive step the cache amortizes —
+      // runs here, outside the registry lock.
+      entry->engine.emplace(entry->netlist, entry->testbench);
+      metrics_->engine_builds.fetch_add(1, std::memory_order_relaxed);
+    } catch (...) {
+      entry->build_error = std::current_exception();
+      entry->build_done.set_value();
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = entries_.find(key);
+      if (it != entries_.end() && it->second == entry) entries_.erase(it);
+      update_gauges_locked();
+      throw;
+    }
+    entry->build_done.set_value();
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end() && it->second == entry) {
+      // `bytes` is mutex-guarded (a concurrent evict() of a mid-build slot
+      // reads it for the eviction record), so it is published here, not on
+      // the unlocked build path above.
+      entry->bytes = entry->engine->resident_bytes();
+      entry->ready = true;
+      entry->last_use = ++use_tick_;
+      ++entry->acquisitions;
+      enforce_budget_locked(key);
+      update_gauges_locked();
+    }
+    // else: the slot was explicitly evicted mid-build; serve the engine to
+    // this caller anyway — the aliasing shared_ptr keeps it alive.
+  } else {
+    entry->build.wait();
+    if (entry->build_error != nullptr) {
+      std::rethrow_exception(entry->build_error);
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    entry->last_use = ++use_tick_;
+    ++entry->acquisitions;
+  }
+
+  return std::shared_ptr<const fault::CampaignEngine>(entry, &*entry->engine);
+}
+
+void EngineRegistry::evict_locked(
+    std::map<ContentHash, std::shared_ptr<Entry>>::iterator it) {
+  const std::shared_ptr<Entry>& entry = it->second;
+  EvictionRecord record;
+  record.key = it->first;
+  record.circuit = entry->ready ? entry->netlist.name() : "(building)";
+  record.bytes = entry->bytes;
+  record.acquisitions = entry->acquisitions;
+  eviction_log_.push_back(std::move(record));
+  metrics_->cache_evictions.fetch_add(1, std::memory_order_relaxed);
+  metrics_->evicted_bytes.fetch_add(entry->bytes, std::memory_order_relaxed);
+  entries_.erase(it);
+}
+
+void EngineRegistry::enforce_budget_locked(const ContentHash& pinned) {
+  if (config_.max_resident_bytes == 0) return;
+  for (;;) {
+    std::size_t total = 0;
+    for (const auto& [key, entry] : entries_) {
+      if (entry->ready) total += entry->bytes;
+    }
+    if (total <= config_.max_resident_bytes) return;
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (!it->second->ready || it->first == pinned) continue;
+      if (victim == entries_.end() ||
+          it->second->last_use < victim->second->last_use) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) return;  // only the pinned entry remains
+    evict_locked(victim);
+  }
+}
+
+void EngineRegistry::update_gauges_locked() {
+  std::size_t engines = 0;
+  std::size_t bytes = 0;
+  for (const auto& [key, entry] : entries_) {
+    if (!entry->ready) continue;
+    ++engines;
+    bytes += entry->bytes;
+  }
+  metrics_->resident_engines.store(engines, std::memory_order_relaxed);
+  metrics_->resident_bytes.store(bytes, std::memory_order_relaxed);
+}
+
+bool EngineRegistry::evict(const ContentHash& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  evict_locked(it);
+  update_gauges_locked();
+  return true;
+}
+
+void EngineRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  while (!entries_.empty()) evict_locked(entries_.begin());
+  update_gauges_locked();
+}
+
+std::size_t EngineRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t ready = 0;
+  for (const auto& [key, entry] : entries_) {
+    if (entry->ready) ++ready;
+  }
+  return ready;
+}
+
+std::size_t EngineRegistry::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t bytes = 0;
+  for (const auto& [key, entry] : entries_) {
+    if (entry->ready) bytes += entry->bytes;
+  }
+  return bytes;
+}
+
+std::vector<EvictionRecord> EngineRegistry::eviction_log() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return eviction_log_;
+}
+
+EngineRegistry& default_engine_registry() {
+  static EngineRegistry registry;
+  return registry;
+}
+
+}  // namespace ffr::service

@@ -1,0 +1,134 @@
+#pragma once
+/// \file engine_registry.hpp
+/// \brief Content-addressed cache of fault::CampaignEngine instances.
+///
+/// Before this layer, golden-run reuse was *per-object*: every caller that
+/// constructed its own CampaignEngine re-ran the golden simulation even for
+/// a (netlist, testbench) pair another caller had already paid for. The
+/// registry keys engines by service::content_hash, so concurrent and
+/// repeated requests — from any thread, with any structurally identical
+/// copy of the design — share one cached golden run, checkpoint set and
+/// compiled stimulus.
+///
+/// ## Ownership
+///
+/// acquire() copies the netlist and testbench into the cache entry and
+/// builds the engine against the owned copies, so a cached engine never
+/// dangles when the caller's objects die — the lifetime coupling that makes
+/// a long-lived cache safe for library users. The copy is structurally
+/// identical (same ids, same creation order), so campaign results off the
+/// cached engine are bit-identical to running on the caller's originals.
+/// Returned shared_ptrs alias the entry: an engine stays alive while any
+/// caller holds it, even after the registry evicts the entry.
+///
+/// ## Concurrency
+///
+/// A single mutex guards the table; golden simulations run *outside* it.
+/// Concurrent acquire()s of the same unseen key coalesce onto one build via
+/// a shared future (the losers block until the winner's golden run lands,
+/// then count as cache hits). CampaignEngine::run is const and internally
+/// synchronized, so any number of threads can run campaigns on one cached
+/// engine concurrently.
+///
+/// ## Eviction
+///
+/// Entries are charged CampaignEngine::resident_bytes() (dominated by the
+/// compiled stimulus; checkpoints are bit-packed at 1 bit/FF since PR 8)
+/// against RegistryConfig::max_resident_bytes. When the budget overflows,
+/// least-recently-used entries are dropped — except the entry being
+/// returned, so the newest engine is always resident even if it alone
+/// exceeds the budget. Evictions are counted in ServiceMetrics and recorded
+/// per-entry in an eviction log the stress tests and the ffr_service demo
+/// read back.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "fault/engine.hpp"
+#include "service/content_hash.hpp"
+#include "service/metrics.hpp"
+
+namespace ffr::service {
+
+struct RegistryConfig {
+  /// Byte budget for cached engines (resident_bytes sum). 0 = unlimited.
+  /// The most recently acquired entry is never evicted, so a single engine
+  /// larger than the budget still serves (with nothing else cached).
+  std::size_t max_resident_bytes = std::size_t{256} << 20;
+};
+
+/// One eviction, oldest first in EngineRegistry::eviction_log().
+struct EvictionRecord {
+  ContentHash key;
+  std::string circuit;        ///< Netlist name, for log readability.
+  std::size_t bytes = 0;      ///< resident_bytes reclaimed.
+  std::uint64_t acquisitions = 0;  ///< Hits + the initial miss it served.
+};
+
+class EngineRegistry {
+ public:
+  /// `metrics`, when non-null, must outlive the registry; hit/miss/eviction
+  /// and residency gauges are maintained there (shared with the job queue
+  /// when the registry lives inside an FfrService).
+  explicit EngineRegistry(RegistryConfig config = {},
+                          ServiceMetrics* metrics = nullptr);
+
+  EngineRegistry(const EngineRegistry&) = delete;
+  EngineRegistry& operator=(const EngineRegistry&) = delete;
+
+  /// The engine for this (netlist, testbench) content, building (and
+  /// caching) it on first sight. Blocks while another thread builds the
+  /// same key. The caller's netlist/testbench are only read during the
+  /// call — the cache owns private copies.
+  /// \throws whatever CampaignEngine's constructor throws on an invalid
+  ///         pair (e.g. a stimulus/PI mismatch); failed builds are not
+  ///         cached, so a later acquire() retries.
+  [[nodiscard]] std::shared_ptr<const fault::CampaignEngine> acquire(
+      const netlist::Netlist& nl, const sim::Testbench& tb);
+
+  /// Drops the entry for `key` if cached; returns whether anything was
+  /// evicted. Engines still held by callers stay alive until released.
+  bool evict(const ContentHash& key);
+
+  /// Drops every cached entry (metrics count them as evictions).
+  void clear();
+
+  [[nodiscard]] const RegistryConfig& config() const noexcept { return config_; }
+
+  /// Number of cached entries (ready builds only).
+  [[nodiscard]] std::size_t size() const;
+  /// Sum of resident_bytes over cached entries.
+  [[nodiscard]] std::size_t resident_bytes() const;
+  /// Every eviction since construction, oldest first (budget-driven,
+  /// explicit evict() and clear() alike).
+  [[nodiscard]] std::vector<EvictionRecord> eviction_log() const;
+
+ private:
+  struct Entry;
+
+  void evict_locked(std::map<ContentHash, std::shared_ptr<Entry>>::iterator it);
+  void enforce_budget_locked(const ContentHash& pinned);
+  void update_gauges_locked();
+
+  RegistryConfig config_;
+  ServiceMetrics* metrics_;  ///< Never null (falls back to an owned instance).
+  std::unique_ptr<ServiceMetrics> owned_metrics_;
+
+  mutable std::mutex mutex_;
+  std::map<ContentHash, std::shared_ptr<Entry>> entries_;
+  std::vector<EvictionRecord> eviction_log_;
+  std::uint64_t use_tick_ = 0;
+};
+
+/// The process-wide registry behind the library-level
+/// core::run_estimation_flow(netlist, testbench) overload: repeated flow
+/// invocations on content-identical pairs share one golden run without the
+/// caller constructing an engine or a service. Default budget, private
+/// metrics. Thread-safe (function-local static).
+[[nodiscard]] EngineRegistry& default_engine_registry();
+
+}  // namespace ffr::service

@@ -170,6 +170,13 @@ class CompiledStimulus {
     return waves_[cycle * num_pis_ + pi];
   }
 
+  /// Bytes held by the pre-broadcast waveform table — the dominant cost of
+  /// keeping a compiled stimulus resident (see CampaignEngine and the
+  /// service-layer engine registry's byte budget).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return waves_.size() * sizeof(Lanes);
+  }
+
  private:
   const netlist::Netlist* nl_;
   const Testbench* tb_;

@@ -1,0 +1,8 @@
+// Rejected: the vector range is wider than the reader's 4096-bit cap
+// (a typo'd bound must become a diagnostic, not a million-net elaboration).
+module bad_vector_range (clk, d, y);
+  input clk;
+  input [70000:0] d;
+  output y;
+  assign y = d[0];
+endmodule

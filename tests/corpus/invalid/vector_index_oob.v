@@ -1,0 +1,9 @@
+// Rejected: bit select outside the declared [3:0] range.
+module vector_index_oob (clk, d, y);
+  input clk;
+  input [3:0] d;
+  output y;
+  wire n0;
+  assign y = n0;
+  AND2_X1 u0 (.A1(d[4]), .A2(d[0]), .ZN(n0));
+endmodule

@@ -1,0 +1,15 @@
+// Vectored port/wire declarations with bit selects: a 4-bit input reduced
+// pairwise, two combinational output bits and one registered output.
+module vector_ports (clk, d, q, y);
+  input clk;
+  input [3:0] d;
+  output [1:0] q;
+  output y;
+  wire [2:0] n;
+  assign q[0] = n[0];
+  assign q[1] = n[1];
+  assign y = n[2];
+  AND2_X1 u0 (.A1(d[3]), .A2(d[2]), .ZN(n[0]));
+  AND2_X1 u1 (.A1(d[1]), .A2(d[0]), .ZN(n[1]));
+  DFF_X1 r0 (.D(n[0]), .CK(clk), .Q(n[2]));
+endmodule

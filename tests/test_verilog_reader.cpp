@@ -280,6 +280,121 @@ TEST(VerilogLexer, SplitPragmaFieldsStripsEscapes) {
 }
 
 // ---------------------------------------------------------------------------
+// Vectored declarations: scalar expansion, bit selects, writer equivalence
+// ---------------------------------------------------------------------------
+
+TEST(VerilogVectors, VectoredDeclarationsExpandToScalars) {
+  const std::string source =
+      "module vec (clk, d, q, y);\n"
+      "  input clk;\n"
+      "  input [3:0] d;\n"
+      "  output [1:0] q;\n"
+      "  output y;\n"
+      "  wire [2:0] n;\n"
+      "  assign q[0] = n[0];\n"
+      "  assign q[1] = n[1];\n"
+      "  assign y = n[2];\n"
+      "  AND2_X1 u0 (.A1(d[3]), .A2(d[2]), .ZN(n[0]));\n"
+      "  AND2_X1 u1 (.A1(d[1]), .A2(d[0]), .ZN(n[1]));\n"
+      "  DFF_X1 r0 (.D(n[0]), .CK(clk), .Q(n[2]));\n"
+      "endmodule\n";
+  const Netlist nl = read_verilog(source, "vec.v");
+  // [3:0] expands in declared range order: left bound first.
+  ASSERT_EQ(nl.primary_inputs().size(), 4u);
+  EXPECT_EQ(nl.net(nl.primary_inputs()[0]).name, "d[3]");
+  EXPECT_EQ(nl.net(nl.primary_inputs()[3]).name, "d[0]");
+  EXPECT_EQ(nl.num_flip_flops(), 1u);
+  // Scalar-by-construction equivalent: the expansion is pure sugar.
+  const std::string scalar_source =
+      "module vec (clk, \\d[3] , \\d[2] , \\d[1] , \\d[0] , \\q[0] , \\q[1] "
+      ", y);\n"
+      "  input clk;\n"
+      "  input \\d[3] , \\d[2] , \\d[1] , \\d[0] ;\n"
+      "  output \\q[0] , \\q[1] ;\n"
+      "  output y;\n"
+      "  wire \\n[2] , \\n[1] , \\n[0] ;\n"
+      "  assign \\q[0] = \\n[0] ;\n"
+      "  assign \\q[1] = \\n[1] ;\n"
+      "  assign y = \\n[2] ;\n"
+      "  AND2_X1 u0 (.A1(\\d[3] ), .A2(\\d[2] ), .ZN(\\n[0] ));\n"
+      "  AND2_X1 u1 (.A1(\\d[1] ), .A2(\\d[0] ), .ZN(\\n[1] ));\n"
+      "  DFF_X1 r0 (.D(\\n[0] ), .CK(clk), .Q(\\n[2] ));\n"
+      "endmodule\n";
+  // The header port list names the vectors while the scalar variant cannot,
+  // so compare everything downstream of the header: emitted bodies match
+  // cell-for-cell and net-for-net.
+  const Netlist scalar = read_verilog(scalar_source, "vec_scalar.v");
+  ASSERT_EQ(nl.primary_inputs().size(), scalar.primary_inputs().size());
+  for (std::size_t i = 0; i < nl.primary_inputs().size(); ++i) {
+    EXPECT_EQ(nl.net(nl.primary_inputs()[i]).name,
+              scalar.net(scalar.primary_inputs()[i]).name);
+  }
+  ASSERT_EQ(nl.num_cells(), scalar.num_cells());
+  // read -> write -> read stability for the vectored form.
+  const std::string canonical = to_verilog(nl);
+  const Netlist again = read_verilog(canonical, "vec2.v");
+  std::string why;
+  EXPECT_TRUE(structurally_equal(nl, again, &why)) << why;
+  EXPECT_EQ(to_verilog(again), canonical);
+}
+
+TEST(VerilogVectors, AscendingRangeExpandsLeftBoundFirst) {
+  const std::string source =
+      "module asc (clk, d, y);\n"
+      "  input clk;\n"
+      "  input [0:2] d;\n"
+      "  output y;\n"
+      "  wire n0, n1;\n"
+      "  assign y = n1;\n"
+      "  AND2_X1 u0 (.A1(d[0]), .A2(d[1]), .ZN(n0));\n"
+      "  AND2_X1 u1 (.A1(n0), .A2(d[2]), .ZN(n1));\n"
+      "endmodule\n";
+  const Netlist nl = read_verilog(source, "asc.v");
+  ASSERT_EQ(nl.primary_inputs().size(), 3u);
+  EXPECT_EQ(nl.net(nl.primary_inputs()[0]).name, "d[0]");
+  EXPECT_EQ(nl.net(nl.primary_inputs()[2]).name, "d[2]");
+}
+
+TEST(VerilogVectors, NumberTokensCarryValuesAndPositions) {
+  VerilogLexer lexer("[ 15 : 0 ]", "lex.v");
+  EXPECT_TRUE(lexer.take().is_punct('['));
+  VToken tok = lexer.take();
+  ASSERT_EQ(tok.kind, VTokenKind::kNumber);
+  EXPECT_EQ(tok.number, 15u);
+  EXPECT_EQ(tok.line, 1u);
+  EXPECT_EQ(tok.column, 3u);
+  EXPECT_TRUE(lexer.take().is_punct(':'));
+  tok = lexer.take();
+  ASSERT_EQ(tok.kind, VTokenKind::kNumber);
+  EXPECT_EQ(tok.number, 0u);
+  EXPECT_TRUE(lexer.take().is_punct(']'));
+  EXPECT_EQ(lexer.peek().kind, VTokenKind::kEof);
+}
+
+TEST(VerilogVectors, MalformedRangesAndSelectsRejected) {
+  const std::string preamble =
+      "module m (clk, a, y);\n  input clk;\n  input a;\n  output y;\n";
+  expect_rejected(preamble + "  wire [7 0] v;\n",
+                  "expected ':' between the vector bounds");
+  expect_rejected(preamble + "  wire [7:] v;\n",
+                  "expected number as the vector lsb");
+  expect_rejected(preamble + "  wire [9999999:0] v;\n",
+                  "wider than 4096 bits");
+  expect_rejected(preamble + "  input [1:0] clk;\n",
+                  "'clk' is the implicit clock and cannot be a vector");
+  expect_rejected(preamble + "  wire [1:0] v;\n  wire [3:0] v;\n",
+                  "vector 'v' declared twice");
+  expect_rejected(preamble +
+                      "  wire [1:0] v;\n  wire n0;\n  assign y = n0;\n"
+                      "  AND2_X1 u0 (.A1(v[2]), .A2(a), .ZN(n0));\nendmodule\n",
+                  "bit 2 is outside vector 'v[1:0]'");
+  expect_rejected(preamble +
+                      "  wire n0;\n  assign y = n0;\n"
+                      "  INV_X1 u0 (.A(a[0]), .ZN(n0));\nendmodule\n",
+                  "'a' is not a declared vector");
+}
+
+// ---------------------------------------------------------------------------
 // Malformed-input suite: every diagnostic path, positioned, no crashes
 // ---------------------------------------------------------------------------
 
