@@ -6,7 +6,9 @@
 // incremental) against the flat campaign on the paper-scale relay circuit
 // (≥947 FFs), reports the simulated-cycle and op-evaluation savings, sweeps
 // the SIMD lane-block width (64 / 256 / 512 fault lanes per pass) and the
-// thread / batch-size scheduling knobs, and emits every measurement as
+// thread / batch-size scheduling knobs, runs a k-of-N sharded campaign
+// (fault/shard.hpp) whose merged partials must stay bit-identical to the
+// unsharded incremental run, and emits every measurement as
 // machine-readable JSON (BENCH_sfi_campaign.json) so the perf trajectory is
 // tracked across PRs. The replay-mode and scheduling rows are pinned to the
 // 64-lane scalar path so they stay comparable with earlier PRs; the width
@@ -27,6 +29,8 @@
 #include "bench/bench_common.hpp"
 #include "circuits/relay_core.hpp"
 #include "fault/engine.hpp"
+#include "fault/shard.hpp"
+#include "service/content_hash.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table_printer.hpp"
 
@@ -371,6 +375,60 @@ int main() {
   std::printf("multi-block passes: best shape = %.2fx wall over the 64-lane "
               "incremental baseline\n",
               best_block_speedup);
+
+  // ---- k-of-N sharding: mergeable partials vs the unsharded run ----------------
+
+  constexpr std::size_t kShardCount = 3;
+  std::printf("\nk-of-N sharding (%zu shards, %zu injections/FF, incremental "
+              "replay, 64-lane pinned; shard k owns the global-schedule "
+              "passes with pass %% %zu == k — fault/shard.hpp):\n",
+              kShardCount, full.injections_per_ff, kShardCount);
+  const std::string relay_hash =
+      service::content_hash(relay.netlist, relay_tb.tb).hex();
+  fault::CampaignConfig shard_config = full;
+  shard_config.replay_mode = fault::ReplayMode::kIncremental;
+  std::vector<fault::CampaignPartial> partials;
+  util::TablePrinter shard_table(
+      {"shard", "injections", "sim passes", "cycles[M]", "wall[s]"});
+  for (std::size_t k = 0; k < kShardCount; ++k) {
+    shard_config.shard = {k, kShardCount};
+    partials.push_back(fault::run_shard(engine, shard_config, relay_hash));
+    const fault::CampaignResult& share = partials.back().result;
+    print_warnings(share);
+    shard_table.add_row(
+        {std::to_string(k) + "/" + std::to_string(kShardCount),
+         std::to_string(share.total_injections),
+         std::to_string(share.total_sim_passes),
+         util::TablePrinter::format(
+             static_cast<double>(share.cycles_simulated) * 1e-6, 2),
+         util::TablePrinter::format(share.wall_seconds, 2)});
+    records.push_back({"relay_core",
+                       "shard" + std::to_string(k) + "of" +
+                           std::to_string(kShardCount),
+                       shard_config.num_threads, shard_config.batch_size,
+                       shard_config.checkpoint_interval,
+                       shard_config.injections_per_ff, share});
+  }
+  const fault::CampaignResult merged = fault::merge_partials(partials);
+  shard_table.add_row(
+      {"merged", std::to_string(merged.total_injections),
+       std::to_string(merged.total_sim_passes),
+       util::TablePrinter::format(
+           static_cast<double>(merged.cycles_simulated) * 1e-6, 2),
+       util::TablePrinter::format(merged.wall_seconds, 2)});
+  shard_table.print();
+  const bool shard_identical =
+      merged.fdr_vector() == incremental.fdr_vector() &&
+      merged.total_sim_passes == incremental.total_sim_passes &&
+      merged.cycles_simulated == incremental.cycles_simulated &&
+      merged.ops_evaluated == incremental.ops_evaluated;
+  std::printf("merged %zu-shard result vs unsharded incremental run: %s "
+              "(FDR vector + pass/cycle/op counters)\n",
+              kShardCount,
+              shard_identical ? "bit-identical" : "DIVERGED (BUG)");
+  records.push_back({"relay_core", "sharded-merge", shard_config.num_threads,
+                     shard_config.batch_size, shard_config.checkpoint_interval,
+                     shard_config.injections_per_ff, merged});
 
   // ---- scheduling sweep: threads x batch size ----------------------------------
 

@@ -205,6 +205,11 @@ std::optional<CampaignResult> load_campaign_cache(
     const netlist::Netlist& nl, const CampaignConfig& config,
     const std::filesystem::path& path) {
   if (path.empty() || !std::filesystem::exists(path)) return std::nullopt;
+  // A shard's accumulators are a CampaignPartial (fault/shard.hpp), not a
+  // result CSV: an unsharded cache must never satisfy a shard request (its
+  // per-FF injection counts would pass the checks below for shard configs
+  // whose share happens to match).
+  if (config.shard.is_sharded()) return std::nullopt;
   CampaignResult cached;
   try {
     cached = CampaignResult::load_csv(path);

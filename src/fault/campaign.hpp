@@ -52,6 +52,24 @@ enum class ReplayMode {
   return "?";
 }
 
+/// One shard of a k-of-N campaign. The batched CampaignEngine plans the
+/// full campaign's pass schedule exactly as if it were unsharded and then
+/// runs only the passes this shard owns (pass p belongs to shard
+/// `p % count == index` — round-robin, so under checkpointed replay the
+/// expensive early-injection passes spread evenly over the shards). Because
+/// every pass's science output and deterministic cost counters are
+/// independent of which other passes run alongside it, merge_partials()
+/// (fault/shard.hpp) over all N shards reconstructs the unsharded
+/// CampaignResult bit-identically. The flat run_campaign() ignores the
+/// shard spec (it is the unsharded differential reference).
+struct ShardSpec {
+  std::size_t index = 0;  ///< This shard's id in [0, count).
+  std::size_t count = 1;  ///< Total shards; 1 = unsharded.
+
+  [[nodiscard]] bool is_sharded() const noexcept { return count > 1; }
+  [[nodiscard]] bool operator==(const ShardSpec&) const = default;
+};
+
 /// Tunables of one campaign; defaults reproduce the paper's setting.
 struct CampaignConfig {
   /// Single-event upsets injected per flip-flop (paper: 170).
@@ -93,13 +111,20 @@ struct CampaignConfig {
   /// Restrict the campaign to these flip-flop indices (positions within
   /// Netlist::flip_flops()). Empty = all flip-flops.
   std::vector<std::size_t> ff_subset;
+  /// k-of-N shard of the batched engine's pass schedule (see ShardSpec).
+  /// The engine rejects index >= count or count == 0 with
+  /// std::invalid_argument. Ignored by the flat run_campaign().
+  ShardSpec shard;
 };
 
 /// Campaign outcome for one flip-flop.
 struct FfResult {
   std::size_t ff_index = 0;  ///< Position within Netlist::flip_flops().
   std::string name;          ///< Cell name of the flip-flop.
-  std::uint64_t injections = 0;  ///< Upsets injected into this flip-flop.
+  /// Upsets injected into this flip-flop — config.injections_per_ff in a
+  /// full campaign; in a sharded engine run, only this shard's share (the
+  /// shares sum back to injections_per_ff under merge_partials()).
+  std::uint64_t injections = 0;
   ClassCounts classes;           ///< Per-fault-class outcome counts.
 
   /// \return Functional De-Rating factor: failures / injections

@@ -267,6 +267,15 @@ CampaignResult CampaignEngine::run(const CampaignConfig& config) const {
   if (tb_->inject_end <= tb_->inject_begin) {
     throw std::invalid_argument("CampaignEngine::run: empty injection window");
   }
+  if (config.shard.count == 0) {
+    throw std::invalid_argument("CampaignEngine::run: shard count must be >= 1");
+  }
+  if (config.shard.index >= config.shard.count) {
+    throw std::invalid_argument(
+        "CampaignEngine::run: shard index " +
+        std::to_string(config.shard.index) + " out of range for " +
+        std::to_string(config.shard.count) + " shards");
+  }
   validate_checkpoint_interval(config.checkpoint_interval,
                                stimulus_.num_cycles());
   const auto ffs = nl_->flip_flops();
@@ -301,7 +310,6 @@ CampaignResult CampaignEngine::run(const CampaignConfig& config) const {
     FfResult& ff_result = result.per_ff[task];
     ff_result.ff_index = ff_index;
     ff_result.name = nl_->cell(ffs[ff_index]).name;
-    ff_result.injections = config.injections_per_ff;
     for (const std::size_t cycle : injection_cycles(config, *tb_, ff_index)) {
       jobs.push_back(Job{static_cast<std::uint32_t>(task),
                          static_cast<std::uint32_t>(cycle)});
@@ -327,10 +335,22 @@ CampaignResult CampaignEngine::run(const CampaignConfig& config) const {
 
   // Adaptive pass schedule: full (width x blocks) passes plus a re-sliced
   // tail. Deterministic given (jobs, width, blocks), so pass counts are
-  // exact regression-guard counters.
+  // exact regression-guard counters. The schedule is always planned over the
+  // FULL job list — a k-of-N shard then owns every N-th pass (round-robin,
+  // so the expensive early-injection passes of checkpointed replay spread
+  // evenly). Each pass's outcomes and cost counters depend only on its own
+  // job range, never on which other passes run in the same process, which is
+  // what makes merged shard partials bit-identical to an unsharded run.
   const std::vector<PlannedPass> schedule =
       build_pass_schedule(jobs.size(), block_lanes, blocks);
-  for (const PlannedPass& pass : schedule) {
+  std::vector<std::size_t> owned;
+  owned.reserve(schedule.size() / config.shard.count + 1);
+  for (std::size_t p = config.shard.index; p < schedule.size();
+       p += config.shard.count) {
+    owned.push_back(p);
+  }
+  for (const std::size_t p : owned) {
+    const PlannedPass& pass = schedule[p];
     auto it = std::find_if(result.pass_histogram.begin(),
                            result.pass_histogram.end(),
                            [&](const PassShapeCount& shape) {
@@ -345,7 +365,8 @@ CampaignResult CampaignEngine::run(const CampaignConfig& config) const {
   }
 
   // Per-job outcome, written disjointly by the workers and reduced serially
-  // afterwards — science output can never depend on scheduling.
+  // afterwards — science output can never depend on scheduling. Jobs outside
+  // this shard's passes stay untouched and are never accumulated.
   std::vector<FailureClass> outcome(jobs.size(), FailureClass::kOk);
 
   util::ThreadPool pool(config.num_threads);
@@ -354,11 +375,10 @@ CampaignResult CampaignEngine::run(const CampaignConfig& config) const {
     // Scalar 64-lane path — byte-for-byte the pre-SIMD engine behaviour and
     // the reference every wider shape is differentially tested against. The
     // schedule is exactly ceil(jobs / 64) single-block passes here.
-    const std::size_t num_passes = schedule.size();
     std::vector<std::unique_ptr<sim::ReplayRunner>> runners(pool.size());
     pool.parallel_for_chunked(
-        num_passes, config.batch_size,
-        [&](std::size_t pass_begin, std::size_t pass_end, std::size_t worker) {
+        owned.size(), config.batch_size,
+        [&](std::size_t begin, std::size_t end, std::size_t worker) {
           if (!runners[worker]) {
             runners[worker] = std::make_unique<sim::ReplayRunner>(stimulus_);
           }
@@ -369,22 +389,20 @@ CampaignResult CampaignEngine::run(const CampaignConfig& config) const {
               config.replay_mode == ReplayMode::kIncremental;
           std::vector<sim::InjectionEvent> events;
           events.reserve(sim::kNumLanes);
-          for (std::size_t pass = pass_begin; pass < pass_end; ++pass) {
-            const std::size_t job_begin = pass * sim::kNumLanes;
-            const std::size_t job_end =
-                std::min(jobs.size(), job_begin + sim::kNumLanes);
+          for (std::size_t i = begin; i < end; ++i) {
+            const PlannedPass& pass = schedule[owned[i]];
             events.clear();
-            for (std::size_t j = job_begin; j < job_end; ++j) {
+            for (std::size_t j = pass.job_begin; j < pass.job_end; ++j) {
               sim::InjectionEvent ev;
               ev.ff_cell = ffs[subset[jobs[j].task]];
               ev.cycle = jobs[j].cycle;
-              ev.lane_mask = sim::Lanes{1} << (j - job_begin);
+              ev.lane_mask = sim::Lanes{1} << (j - pass.job_begin);
               events.push_back(ev);
             }
             const sim::RunResult run = runner.run(events, options);
-            for (std::size_t j = job_begin; j < job_end; ++j) {
+            for (std::size_t j = pass.job_begin; j < pass.job_end; ++j) {
               outcome[j] =
-                  classify(golden_.frames, run.lane_frames[j - job_begin]);
+                  classify(golden_.frames, run.lane_frames[j - pass.job_begin]);
             }
             costs[worker].cycles += run.cycles_simulated;
             costs[worker].ops += run.ops_evaluated;
@@ -392,15 +410,15 @@ CampaignResult CampaignEngine::run(const CampaignConfig& config) const {
           }
         });
   } else {
-    // Group the schedule by block width and dispatch each group to its
+    // Group the owned passes by block width and dispatch each group to its
     // templated executor; a narrower-tail pass of a 512-lane campaign runs
     // on the narrow kernel it was planned for.
     std::vector<std::size_t> by_width[3];  // 64, 256, 512
-    for (std::size_t i = 0; i < schedule.size(); ++i) {
-      switch (schedule[i].width) {
-        case 64: by_width[0].push_back(i); break;
-        case 256: by_width[1].push_back(i); break;
-        default: by_width[2].push_back(i); break;
+    for (const std::size_t p : owned) {
+      switch (schedule[p].width) {
+        case 64: by_width[0].push_back(p); break;
+        case 256: by_width[1].push_back(p); break;
+        default: by_width[2].push_back(p); break;
       }
     }
     if (!by_width[0].empty()) {
@@ -420,11 +438,15 @@ CampaignResult CampaignEngine::run(const CampaignConfig& config) const {
     }
   }
 
-  for (std::size_t j = 0; j < jobs.size(); ++j) {
-    result.per_ff[jobs[j].task].classes.add(outcome[j]);
+  for (const std::size_t p : owned) {
+    const PlannedPass& pass = schedule[p];
+    for (std::size_t j = pass.job_begin; j < pass.job_end; ++j) {
+      result.per_ff[jobs[j].task].classes.add(outcome[j]);
+      ++result.per_ff[jobs[j].task].injections;
+      ++result.total_injections;
+    }
   }
-  result.total_sim_passes = schedule.size();
-  result.total_injections = jobs.size();
+  result.total_sim_passes = owned.size();
   for (const WorkerCost& cost : costs) {
     result.cycles_simulated += cost.cycles;
     result.ops_evaluated += cost.ops;
@@ -440,7 +462,9 @@ CampaignResult CampaignEngine::run_cached(
     return *std::move(cached);
   }
   CampaignResult fresh = run(config);
-  if (!cache_path.empty()) {
+  // Shard runs produce partial accumulators (fault/shard.hpp persists those
+  // with their merge fingerprint); never write one as an unsharded CSV cache.
+  if (!cache_path.empty() && !config.shard.is_sharded()) {
     std::filesystem::create_directories(cache_path.parent_path());
     fresh.save_csv(cache_path);
   }

@@ -107,6 +107,9 @@ class CampaignEngine {
   /// run_campaign(netlist(), testbench(), golden(), config) in every replay
   /// mode, but with cross-flip-flop lane packing, checkpointed mid-stream
   /// starts, dirty-set evaluation and chunked work-stealing scheduling.
+  /// With config.shard.count > 1 only the shard's round-robin share of the
+  /// full pass schedule runs (see ShardSpec / fault/shard.hpp); merging all
+  /// N shards' results reconstructs the unsharded run bit-identically.
   /// const because every precomputed member is read-only here (the
   /// checkpoint cache is internally synchronized) — concurrent run() calls
   /// on one engine are safe (each brings its own worker pool).

@@ -10,6 +10,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "fault/shard.hpp"
+#include "service/content_hash.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ffr::service {
@@ -139,6 +141,80 @@ JobId FfrService::submit_campaign(const netlist::Netlist& nl,
     self.campaign = engine->run(config);
   };
   return enqueue(std::move(job));
+}
+
+JobId FfrService::submit_sharded_campaign(const netlist::Netlist& nl,
+                                          const sim::Testbench& tb,
+                                          fault::CampaignConfig config,
+                                          std::size_t shard_count,
+                                          std::filesystem::path partial_dir,
+                                          std::vector<JobId>* shard_jobs) {
+  if (shard_count == 0) {
+    throw std::invalid_argument(
+        "ffr_service: sharded campaign needs shard_count >= 1");
+  }
+  // One slot per shard, written only by that shard's worker; the merge job
+  // reads a slot only after wait() observed the shard job done, so the
+  // job-state mutex orders every write before the read.
+  auto partials = std::make_shared<
+      std::vector<std::optional<fault::CampaignPartial>>>(shard_count);
+
+  std::vector<JobId> ids;
+  ids.reserve(shard_count);
+  for (std::size_t k = 0; k < shard_count; ++k) {
+    fault::CampaignConfig shard_config = config;
+    shard_config.shard.index = k;
+    shard_config.shard.count = shard_count;
+    auto job = std::make_shared<Job>();
+    job->job_class = JobClass::kCampaign;
+    job->work = [this, &nl, &tb, shard_config = std::move(shard_config),
+                 partial_dir, partials, k](Job& self) {
+      std::shared_ptr<const fault::CampaignEngine> engine =
+          registry_.acquire(nl, tb);
+      const std::string hash = content_hash(nl, tb).hex();
+      fault::CampaignPartial partial;
+      if (partial_dir.empty()) {
+        partial = fault::run_shard(*engine, shard_config, hash);
+        metrics_.shards_completed.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        bool resumed = false;
+        partial = fault::load_or_run_shard(*engine, shard_config, hash,
+                                           partial_dir, &resumed);
+        (resumed ? metrics_.shards_resumed : metrics_.shards_completed)
+            .fetch_add(1, std::memory_order_relaxed);
+      }
+      self.campaign = partial.result;
+      (*partials)[k] = std::move(partial);
+    };
+    ids.push_back(enqueue(std::move(job)));
+  }
+  if (shard_jobs != nullptr) {
+    shard_jobs->insert(shard_jobs->end(), ids.begin(), ids.end());
+  }
+
+  // Enqueued after every shard job: the FIFO pool pops the merge only once
+  // all shards are at least running, so blocking in wait() here can never
+  // deadlock the pool — even with a single worker, which runs the shards to
+  // completion before reaching this job.
+  auto merge = std::make_shared<Job>();
+  merge->job_class = JobClass::kCampaign;
+  merge->work = [this, ids = std::move(ids), partials](Job& self) {
+    std::vector<fault::CampaignPartial> collected;
+    collected.reserve(ids.size());
+    for (std::size_t k = 0; k < ids.size(); ++k) {
+      const JobStatus shard_status = wait(ids[k]);
+      if (shard_status.state != JobState::kDone) {
+        throw std::runtime_error(
+            "ffr_service: shard job " + std::to_string(ids[k]) + " (shard " +
+            std::to_string(k) + ") " +
+            std::string(to_string(shard_status.state)) +
+            (shard_status.error.empty() ? "" : ": " + shard_status.error));
+      }
+      collected.push_back(std::move(*(*partials)[k]));
+    }
+    self.campaign = fault::merge_partials(collected);
+  };
+  return enqueue(std::move(merge));
 }
 
 JobId FfrService::submit_predict(const std::filesystem::path& model_path,

@@ -13,7 +13,9 @@
 ///    registry-cached engine for the (netlist, testbench) content — repeated
 ///    and concurrent requests share one golden run, checkpoint set and
 ///    compiled stimulus, and results are bit-identical to a direct
-///    CampaignEngine::run.
+///    CampaignEngine::run. submit_sharded_campaign() splits one campaign
+///    into N shard jobs plus a merge job (fault/shard.hpp), optionally
+///    resuming shards from partial files on disk.
 ///  - **Predict jobs** (submit_predict): per-flip-flop FDR from a persisted
 ///    core::TransferModel (PR 5's train-once/predict-many serving). The
 ///    model file is loaded once per path and shared by every job. The
@@ -38,6 +40,7 @@
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/transfer_flow.hpp"
 #include "fault/campaign.hpp"
@@ -106,6 +109,28 @@ class FfrService {
   [[nodiscard]] JobId submit_campaign(const netlist::Netlist& nl,
                                       const sim::Testbench& tb,
                                       fault::CampaignConfig config = {});
+
+  /// Enqueues a k-of-N sharded campaign (fault/shard.hpp): `shard_count`
+  /// shard jobs — each running one ShardSpec{k, N} share of the campaign on
+  /// the registry-cached engine — followed by one merge job whose
+  /// CampaignResult is bit-identical to an unsharded CampaignEngine::run of
+  /// `config`. The merge job is enqueued after every shard job on the FIFO
+  /// worker pool, so it can never starve its own shards even on one worker.
+  /// A non-empty `partial_dir` enables resume-from-partial: each shard job
+  /// first looks for its canonical partial file there (skipping the engine
+  /// run when a matching one exists, counted in metrics shards_resumed vs
+  /// shards_completed) and persists its partial on completion. Partials that
+  /// exist but fail validation fail that shard job — and thereby the merge.
+  /// `config.shard` is overwritten per shard job. Returns the merge job id
+  /// (a kCampaign job: fetch with campaign_result); when `shard_jobs` is
+  /// non-null the N shard job ids are appended to it (each also a kCampaign
+  /// job holding its own share as result).
+  /// \throws std::invalid_argument when shard_count is 0.
+  [[nodiscard]] JobId submit_sharded_campaign(
+      const netlist::Netlist& nl, const sim::Testbench& tb,
+      fault::CampaignConfig config, std::size_t shard_count,
+      std::filesystem::path partial_dir = {},
+      std::vector<JobId>* shard_jobs = nullptr);
 
   /// Enqueues a prediction of every flip-flop's FDR in `nl` using the
   /// persisted transfer model at `model_path` (loaded once per path). Uses

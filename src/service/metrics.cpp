@@ -49,6 +49,8 @@ MetricsSnapshot ServiceMetrics::snapshot() const noexcept {
   s.jobs_failed = jobs_failed.load(std::memory_order_relaxed);
   s.jobs_cancelled = jobs_cancelled.load(std::memory_order_relaxed);
   s.queue_depth = queue_depth.load(std::memory_order_relaxed);
+  s.shards_completed = shards_completed.load(std::memory_order_relaxed);
+  s.shards_resumed = shards_resumed.load(std::memory_order_relaxed);
   s.campaign_jobs = campaign_seconds.samples();
   s.campaign_mean_seconds = campaign_seconds.mean_seconds();
   s.predict_jobs = predict_seconds.samples();
@@ -112,6 +114,8 @@ std::string ServiceMetrics::to_text() const {
   append_counter(out, "jobs_failed", s.jobs_failed);
   append_counter(out, "jobs_cancelled", s.jobs_cancelled);
   append_counter(out, "queue_depth", s.queue_depth);
+  append_counter(out, "shards_completed", s.shards_completed);
+  append_counter(out, "shards_resumed", s.shards_resumed);
   append_histogram(out, "campaign", campaign_seconds);
   append_histogram(out, "predict", predict_seconds);
   return out;

@@ -63,6 +63,8 @@ struct MetricsSnapshot {
   std::uint64_t jobs_failed = 0;
   std::uint64_t jobs_cancelled = 0;
   std::uint64_t queue_depth = 0;
+  std::uint64_t shards_completed = 0;
+  std::uint64_t shards_resumed = 0;
   std::uint64_t campaign_jobs = 0;
   double campaign_mean_seconds = 0.0;
   std::uint64_t predict_jobs = 0;
@@ -87,6 +89,12 @@ struct ServiceMetrics {
   std::atomic<std::uint64_t> jobs_failed{0};
   std::atomic<std::uint64_t> jobs_cancelled{0};
   std::atomic<std::uint64_t> queue_depth{0};     ///< Gauge: queued + running.
+
+  // Sharded campaigns (FfrService::submit_sharded_campaign).
+  /// Shard jobs that actually executed on the engine (not resumed).
+  std::atomic<std::uint64_t> shards_completed{0};
+  /// Shard jobs satisfied by a partial file on disk (resume-from-partial).
+  std::atomic<std::uint64_t> shards_resumed{0};
 
   // Per-job-class wall time (run only, queue wait excluded).
   LatencyHistogram campaign_seconds;

@@ -7,12 +7,17 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "circuits/relay_core.hpp"
 #include "fault/campaign.hpp"
 #include "fault/engine.hpp"
+#include "fault/shard.hpp"
 #include "netlist/verilog_reader.hpp"
 #include "netlist/verilog_writer.hpp"
 #include "rtl/crc.hpp"
+#include "service/content_hash.hpp"
 #include "sim/runner.hpp"
 #include "sim/testbench.hpp"
 
@@ -244,6 +249,58 @@ TEST_F(RelayFixture, LaneWidthDifferentialAtPaperScale) {
     }
   }
   sim::force_native_lane_width_for_testing(sim::LaneWidth::kAuto);
+}
+
+TEST_F(RelayFixture, ShardedCampaignMergesBitIdenticalAtPaperScale) {
+  // Paper-scale shard-equivalence: a 3-way sharded campaign on the >= 947-FF
+  // relay design, merged in every shard permutation, must be bit-identical
+  // to the unsharded engine run — FDR and every deterministic counter.
+  fault::CampaignEngine engine(core->netlist, bench->tb);
+  const std::string hash =
+      service::content_hash(core->netlist, bench->tb).hex();
+  fault::CampaignConfig config;
+  config.injections_per_ff = 24;
+  const std::size_t n = core->netlist.num_flip_flops();
+  for (std::size_t i = 0; i < n; i += 53) config.ff_subset.push_back(i);
+
+  const fault::CampaignResult unsharded = engine.run(config);
+
+  constexpr std::size_t kShards = 3;
+  std::vector<fault::CampaignPartial> partials;
+  for (std::size_t k = 0; k < kShards; ++k) {
+    fault::CampaignConfig shard = config;
+    shard.shard = fault::ShardSpec{k, kShards};
+    partials.push_back(fault::run_shard(engine, shard, hash));
+  }
+
+  std::vector<std::size_t> order = {0, 1, 2};
+  do {
+    std::vector<fault::CampaignPartial> shuffled;
+    for (const std::size_t k : order) shuffled.push_back(partials[k]);
+    const fault::CampaignResult merged = fault::merge_partials(shuffled);
+    ASSERT_EQ(merged.per_ff.size(), unsharded.per_ff.size());
+    for (std::size_t i = 0; i < merged.per_ff.size(); ++i) {
+      EXPECT_EQ(merged.per_ff[i].classes.counts,
+                unsharded.per_ff[i].classes.counts)
+          << "ff " << unsharded.per_ff[i].name;
+      EXPECT_EQ(merged.per_ff[i].injections, unsharded.per_ff[i].injections);
+    }
+    EXPECT_EQ(merged.fdr_vector(), unsharded.fdr_vector());
+    EXPECT_EQ(merged.total_injections, unsharded.total_injections);
+    EXPECT_EQ(merged.total_sim_passes, unsharded.total_sim_passes);
+    EXPECT_EQ(merged.cycles_simulated, unsharded.cycles_simulated);
+    EXPECT_EQ(merged.ops_evaluated, unsharded.ops_evaluated);
+    EXPECT_EQ(merged.checkpoint_restores, unsharded.checkpoint_restores);
+    ASSERT_EQ(merged.pass_histogram.size(), unsharded.pass_histogram.size());
+    for (std::size_t i = 0; i < merged.pass_histogram.size(); ++i) {
+      EXPECT_EQ(merged.pass_histogram[i].width,
+                unsharded.pass_histogram[i].width);
+      EXPECT_EQ(merged.pass_histogram[i].blocks,
+                unsharded.pass_histogram[i].blocks);
+      EXPECT_EQ(merged.pass_histogram[i].passes,
+                unsharded.pass_histogram[i].passes);
+    }
+  } while (std::next_permutation(order.begin(), order.end()));
 }
 
 TEST_F(RelayFixture, ImportedNetlistCampaignBitExact) {

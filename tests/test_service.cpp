@@ -10,14 +10,20 @@
 //    CampaignEngine::run, predict jobs serve a persisted TransferModel
 //    (the feature-matrix class without ever constructing a simulator), and
 //    job lifecycle (states, cancellation, failure capture, wait/poll) holds;
-//  - a multi-threaded mixed submit/evict/predict stress keeps every result
-//    bit-identical to single-threaded references — this suite is the
-//    service layer's TSan exercise (CI runs it under -fsanitize=thread).
+//  - sharded campaign jobs (N shard jobs + a merge job) reproduce the direct
+//    engine run bit-identically, resume from partial files on disk (metrics
+//    shards_completed / shards_resumed), and surface invalid partials as
+//    job failures naming the shard;
+//  - multi-threaded mixed submit/evict/predict stresses — including
+//    concurrent sharded campaigns — keep every result bit-identical to
+//    single-threaded references; this suite is the service layer's TSan
+//    exercise (CI runs it under -fsanitize=thread).
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -30,6 +36,7 @@
 #include "core/transfer_flow.hpp"
 #include "fault/campaign.hpp"
 #include "fault/engine.hpp"
+#include "fault/shard.hpp"
 #include "features/extractor.hpp"
 #include "netlist/verilog_reader.hpp"
 #include "netlist/verilog_writer.hpp"
@@ -488,6 +495,183 @@ TEST_F(ServiceTest, StressMixedSubmitEvictPredictStaysBitIdentical) {
             kThreads * kOpsPerThread * 2 + 2);
   EXPECT_EQ(snap.cache_misses, snap.engine_builds);
   EXPECT_GE(snap.cache_evictions, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded campaign jobs
+// ---------------------------------------------------------------------------
+
+TEST_F(ServiceTest, ShardedCampaignJobBitIdenticalToDirectRun) {
+  const fault::CampaignEngine direct(mac_->netlist, mac_bench_->tb);
+  const fault::CampaignResult reference = direct.run(small_campaign());
+
+  FfrService service;
+  std::vector<JobId> shard_jobs;
+  const JobId merge_id = service.submit_sharded_campaign(
+      mac_->netlist, mac_bench_->tb, small_campaign(), 3, {}, &shard_jobs);
+  ASSERT_EQ(shard_jobs.size(), 3u);
+  ASSERT_EQ(service.wait(merge_id).state, JobState::kDone)
+      << service.status(merge_id).error;
+
+  const fault::CampaignResult merged = service.campaign_result(merge_id);
+  expect_campaigns_bit_identical(reference, merged);
+  EXPECT_EQ(merged.total_sim_passes, reference.total_sim_passes);
+  EXPECT_EQ(merged.cycles_simulated, reference.cycles_simulated);
+  EXPECT_EQ(merged.ops_evaluated, reference.ops_evaluated);
+  EXPECT_EQ(merged.checkpoint_restores, reference.checkpoint_restores);
+
+  // Each shard job is an ordinary done campaign job holding its own share.
+  std::uint64_t share_sum = 0;
+  for (const JobId id : shard_jobs) {
+    ASSERT_EQ(service.status(id).state, JobState::kDone);
+    share_sum += service.campaign_result(id).total_injections;
+  }
+  EXPECT_EQ(share_sum, reference.total_injections);
+
+  const MetricsSnapshot snap = service.metrics().snapshot();
+  EXPECT_EQ(snap.shards_completed, 3u);
+  EXPECT_EQ(snap.shards_resumed, 0u);
+  EXPECT_EQ(snap.jobs_completed, 4u);  // 3 shards + merge
+  const std::string text = service.metrics().to_text();
+  EXPECT_NE(text.find("ffr_service_shards_completed 3"), std::string::npos);
+  EXPECT_NE(text.find("ffr_service_shards_resumed 0"), std::string::npos);
+}
+
+TEST_F(ServiceTest, ShardedCampaignResumesFromPartialDir) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "ffr_service_shard_resume";
+  std::filesystem::remove_all(dir);
+
+  const fault::CampaignEngine direct(mac_->netlist, mac_bench_->tb);
+  const fault::CampaignResult reference = direct.run(small_campaign());
+
+  FfrService service;
+  const JobId first = service.submit_sharded_campaign(
+      mac_->netlist, mac_bench_->tb, small_campaign(), 3, dir);
+  ASSERT_EQ(service.wait(first).state, JobState::kDone)
+      << service.status(first).error;
+  expect_campaigns_bit_identical(reference, service.campaign_result(first));
+  EXPECT_EQ(service.metrics().snapshot().shards_completed, 3u);
+  EXPECT_EQ(service.metrics().snapshot().shards_resumed, 0u);
+
+  // Same campaign again: every shard resumes from its partial file.
+  const JobId second = service.submit_sharded_campaign(
+      mac_->netlist, mac_bench_->tb, small_campaign(), 3, dir);
+  ASSERT_EQ(service.wait(second).state, JobState::kDone)
+      << service.status(second).error;
+  expect_campaigns_bit_identical(reference, service.campaign_result(second));
+  EXPECT_EQ(service.metrics().snapshot().shards_completed, 3u);
+  EXPECT_EQ(service.metrics().snapshot().shards_resumed, 3u);
+
+  // Crash recovery: one partial lost, exactly that shard re-runs.
+  ASSERT_TRUE(std::filesystem::remove(dir / fault::partial_filename(1, 3)));
+  const JobId third = service.submit_sharded_campaign(
+      mac_->netlist, mac_bench_->tb, small_campaign(), 3, dir);
+  ASSERT_EQ(service.wait(third).state, JobState::kDone)
+      << service.status(third).error;
+  expect_campaigns_bit_identical(reference, service.campaign_result(third));
+  EXPECT_EQ(service.metrics().snapshot().shards_completed, 4u);
+  EXPECT_EQ(service.metrics().snapshot().shards_resumed, 5u);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ServiceTest, ShardedCampaignFailsOnInvalidPartial) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "ffr_service_shard_invalid";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream os(dir / fault::partial_filename(0, 2));
+    os << "ffr-partial 1 campaign_shard\ntruncated";
+  }
+
+  FfrService service;
+  std::vector<JobId> shard_jobs;
+  const JobId merge_id = service.submit_sharded_campaign(
+      mac_->netlist, mac_bench_->tb, small_campaign(), 2, dir, &shard_jobs);
+  const JobStatus merged = service.wait(merge_id);
+  // The corrupt partial fails shard 0, and the merge reports which shard.
+  EXPECT_EQ(merged.state, JobState::kFailed);
+  EXPECT_NE(merged.error.find("shard 0"), std::string::npos) << merged.error;
+  EXPECT_EQ(service.status(shard_jobs[0]).state, JobState::kFailed);
+  EXPECT_EQ(service.status(shard_jobs[1]).state, JobState::kDone);
+
+  EXPECT_THROW((void)service.submit_sharded_campaign(
+                   mac_->netlist, mac_bench_->tb, small_campaign(), 0),
+               std::invalid_argument);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ServiceTest, StressShardJobsRacingPredictsAndEvictionStayBitIdentical) {
+  // The sharded-campaign TSan exercise: concurrent sharded submissions on
+  // both circuits, racing predict jobs and explicit eviction under a 1-byte
+  // registry budget (every shard job may rebuild the engine). Every merged
+  // result must stay bit-identical to the direct single-process runs.
+  const fault::CampaignEngine mac_direct(mac_->netlist, mac_bench_->tb);
+  const fault::CampaignEngine pipe_direct(pipe_->netlist, pipe_bench_->tb);
+  const fault::CampaignResult mac_ref = mac_direct.run(small_campaign());
+  const fault::CampaignResult pipe_ref = pipe_direct.run(small_campaign());
+
+  ServiceConfig config;
+  config.num_workers = 4;
+  config.registry.max_resident_bytes = 1;  // constant eviction pressure
+  FfrService service(config);
+
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kShards = 3;
+  std::vector<JobId> merge_ids(kThreads);
+  std::vector<std::vector<JobId>> shard_ids(kThreads);
+  std::vector<JobId> predict_ids(kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        const bool mac_turn = t % 2 == 0;
+        merge_ids[t] = service.submit_sharded_campaign(
+            mac_turn ? mac_->netlist : pipe_->netlist,
+            mac_turn ? mac_bench_->tb : pipe_bench_->tb, small_campaign(),
+            kShards, {}, &shard_ids[t]);
+        predict_ids[t] = service.submit_predict(*model_path_, pipe_->netlist,
+                                                pipe_bench_->tb);
+        (void)service.registry().evict(
+            content_hash(mac_->netlist, mac_bench_->tb));
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  service.wait_all();
+
+  const core::TransferModel loaded = core::TransferModel::load(*model_path_);
+  const linalg::Vector predict_ref =
+      loaded.predict(pipe_->netlist, pipe_bench_->tb);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    ASSERT_EQ(service.status(merge_ids[t]).state, JobState::kDone)
+        << service.status(merge_ids[t]).error;
+    const fault::CampaignResult& reference = t % 2 == 0 ? mac_ref : pipe_ref;
+    const fault::CampaignResult merged = service.campaign_result(merge_ids[t]);
+    expect_campaigns_bit_identical(reference, merged);
+    EXPECT_EQ(merged.total_sim_passes, reference.total_sim_passes);
+    EXPECT_EQ(merged.cycles_simulated, reference.cycles_simulated);
+    EXPECT_EQ(merged.ops_evaluated, reference.ops_evaluated);
+    for (const JobId id : shard_ids[t]) {
+      EXPECT_EQ(service.status(id).state, JobState::kDone);
+    }
+    const linalg::Vector predicted = service.prediction(predict_ids[t]);
+    ASSERT_EQ(predicted.size(), predict_ref.size());
+    for (std::size_t i = 0; i < predicted.size(); ++i) {
+      EXPECT_EQ(predicted[i], predict_ref[i]);
+    }
+  }
+
+  const MetricsSnapshot snap = service.metrics().snapshot();
+  EXPECT_EQ(snap.shards_completed, kThreads * kShards);
+  EXPECT_EQ(snap.shards_resumed, 0u);
+  EXPECT_EQ(snap.jobs_submitted, kThreads * (kShards + 2));
+  EXPECT_EQ(snap.jobs_completed, kThreads * (kShards + 2));
+  EXPECT_EQ(snap.jobs_failed, 0u);
+  EXPECT_EQ(snap.queue_depth, 0u);
 }
 
 }  // namespace
